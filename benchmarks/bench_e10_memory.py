@@ -1,0 +1,77 @@
+"""E10 — memory footprint vs reservoir size (figure reconstruction).
+
+The memory argument: in lean mode (``track_graph=False``) the
+clusterer's retained state is the reservoir plus its connectivity
+index — O(reservoir), independent of the stream length — whereas any
+offline algorithm (and the tracked-graph convenience mode) must hold
+the full O(m) graph.
+
+Measured with tracemalloc on prefixes of the lj_like stream (373k
+edges): retained bytes after ingesting 200k events at various
+capacities, against the tracked-graph mode at one capacity.
+
+Expected shape: lean-mode footprint grows linearly in the *capacity*
+and stays far below the tracked-graph mode; bytes-per-sampled-edge is
+roughly constant.
+"""
+
+from bench_common import finish
+from repro.bench import ExperimentResult, measure_allocations
+from repro.core import ClustererConfig, StreamingGraphClusterer
+from repro.datasets import load_dataset
+from repro.streams import insert_only_stream
+
+CAPACITIES = (1000, 5000, 20000, 50000)
+PREFIX = 200000
+
+
+def test_e10_memory(benchmark):
+    dataset = load_dataset("lj_like")
+    events = insert_only_stream(dataset.edges, seed=10)[:PREFIX]
+
+    def build(capacity: int, track: bool) -> StreamingGraphClusterer:
+        clusterer = StreamingGraphClusterer(
+            ClustererConfig(
+                reservoir_capacity=capacity,
+                track_graph=track,
+                strict=False,
+                seed=8,
+            )
+        )
+        clusterer.process(events)
+        return clusterer
+
+    benchmark.pedantic(lambda: build(5000, False), rounds=1, iterations=1)
+
+    result = ExperimentResult(
+        "e10_memory",
+        f"retained state after {PREFIX} lj_like events (tracemalloc)",
+    )
+    lean_bytes = {}
+    for capacity in CAPACITIES:
+        clusterer, measurement = measure_allocations(lambda c=capacity: build(c, False))
+        lean_bytes[capacity] = measurement.net_bytes
+        result.add_row(
+            mode="lean (reservoir only)",
+            capacity=capacity,
+            sampled_edges=clusterer.reservoir_size,
+            net_mib=round(measurement.net_mib, 1),
+            bytes_per_sampled_edge=round(
+                measurement.net_bytes / max(1, clusterer.reservoir_size)
+            ),
+        )
+    clusterer, measurement = measure_allocations(lambda: build(5000, True))
+    result.add_row(
+        mode="tracked full graph",
+        capacity=5000,
+        sampled_edges=clusterer.reservoir_size,
+        net_mib=round(measurement.net_mib, 1),
+        bytes_per_sampled_edge=round(measurement.net_bytes / 5000),
+    )
+    tracked_bytes = measurement.net_bytes
+    finish(result)
+
+    # Footprint scales with capacity...
+    assert lean_bytes[50000] > 5 * lean_bytes[1000]
+    # ...and the lean mode at moderate capacity is far below full-graph.
+    assert tracked_bytes > 3 * lean_bytes[5000]

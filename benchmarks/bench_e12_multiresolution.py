@@ -1,0 +1,81 @@
+"""E12 — multi-resolution clustering (extension ablation).
+
+:class:`MultiResolutionClusterer` runs a bank of reservoirs at
+geometrically decreasing capacities over one stream, answering
+"how tightly related are u and v?" by the level at which they separate.
+Measured here:
+
+* the resolution ladder (clusters per level — must increase as the
+  reservoir shrinks),
+* the affinity signal: intra-community pairs must separate at finer
+  levels than cross-community pairs,
+* the per-event overhead vs a single clusterer (≈ the level count).
+"""
+
+from bench_common import finish
+from repro.bench import ExperimentResult, measure_throughput
+from repro.core import ClustererConfig, MaxClusterSize, StreamingGraphClusterer
+from repro.core.hierarchy import MultiResolutionClusterer
+from repro.streams import insert_only_stream, planted_partition
+
+LEVELS = 4
+
+
+def test_e12_multiresolution(benchmark):
+    graph = planted_partition(600, 6, p_in=0.15, p_out=0.001, seed=121)
+    events = insert_only_stream(graph.edges, seed=121)
+    config = ClustererConfig(
+        reservoir_capacity=len(events),
+        constraint=MaxClusterSize(110),  # near the true community size
+        strict=False,
+        seed=12,
+    )
+
+    benchmark.pedantic(
+        lambda: MultiResolutionClusterer(config, num_levels=LEVELS, ratio=6.0)
+        .process(events),
+        rounds=3,
+        iterations=1,
+    )
+
+    result = ExperimentResult(
+        "e12_multiresolution",
+        f"{LEVELS}-level resolution bank on a 6-community SBM",
+    )
+
+    single = StreamingGraphClusterer(config)
+    single_outcome = measure_throughput(single, events)
+    bank = MultiResolutionClusterer(config, num_levels=LEVELS, ratio=6.0)
+    bank_outcome = measure_throughput(bank, events)
+    overhead = single_outcome.events_per_second / bank_outcome.events_per_second
+
+    intra_pairs = [(v, v + 6 * k) for v in range(6) for k in (1, 3, 5, 7)]
+    cross_pairs = [(v, v + 1 + 6 * k) for v in range(5) for k in (1, 3, 5, 7)]
+
+    def mean_affinity(pairs):
+        return sum(bank.affinity(u, v) for u, v in pairs) / len(pairs)
+
+    for level, capacity in enumerate(bank.capacities()):
+        snapshot = bank.snapshot(level)
+        result.add_row(
+            level=level,
+            capacity=capacity,
+            clusters=snapshot.num_clusters,
+            max_cluster=snapshot.max_cluster_size,
+        )
+    result.metadata.update(
+        intra_affinity=round(mean_affinity(intra_pairs), 3),
+        cross_affinity=round(mean_affinity(cross_pairs), 3),
+        overhead_factor=round(overhead, 2),
+        single_events_per_sec=round(single_outcome.events_per_second),
+        bank_events_per_sec=round(bank_outcome.events_per_second),
+    )
+    finish(result)
+    print(f"  intra affinity {result.metadata['intra_affinity']} vs "
+          f"cross {result.metadata['cross_affinity']}; "
+          f"overhead {result.metadata['overhead_factor']}x")
+
+    counts = [row["clusters"] for row in result.rows]
+    assert all(b >= a for a, b in zip(counts, counts[1:]))  # finer levels
+    assert result.metadata["intra_affinity"] > result.metadata["cross_affinity"]
+    assert overhead < 2 * LEVELS  # linear in levels, not worse

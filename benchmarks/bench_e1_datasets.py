@@ -1,0 +1,30 @@
+"""E1 — dataset statistics table (stands in for the paper's Table 1).
+
+Regenerates the evaluation datasets and reports vertices, edges, average
+degree, community count, and mixing for each. The pytest-benchmark
+measurement is the generation cost of the mid-size LFR stand-in (the
+dominant setup cost of the quality experiments).
+"""
+
+from bench_common import finish
+from repro.bench import ExperimentResult
+from repro.datasets import dataset_names, dataset_statistics, load_dataset
+from repro.streams import lfr_graph
+
+
+def test_e1_dataset_table(benchmark):
+    benchmark.pedantic(
+        lambda: lfr_graph(5000, mu=0.08, min_degree=4, max_degree=60,
+                          min_community=6, max_community=100, seed=123),
+        rounds=3,
+        iterations=1,
+    )
+    result = ExperimentResult(
+        "e1_datasets",
+        "evaluation datasets (synthetic stand-ins; see DESIGN.md)",
+    )
+    for name in dataset_names():
+        dataset = load_dataset(name)
+        result.add_row(**dataset_statistics(dataset))
+    finish(result)
+    assert len(result.rows) == len(dataset_names())

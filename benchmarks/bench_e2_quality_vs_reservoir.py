@@ -1,0 +1,64 @@
+"""E2 — clustering quality vs reservoir size (figure reconstruction).
+
+The paper's central trade-off: a larger edge reservoir gives a denser
+sampled sub-graph and therefore better-connected, higher-quality
+clusters, at the cost of memory and slightly lower throughput. Swept on
+the amazon_like stand-in with the cluster-size bound set near the true
+maximum community size (the paper's recommended configuration), with
+the unconstrained variant alongside to expose the giant-merge failure
+mode the constraint prevents.
+
+Expected shape: quality (NMI/F1) rises with reservoir size for the
+constrained variant and saturates; the unconstrained variant peaks at a
+small reservoir and then *degrades* as sampled bridge edges glue
+communities together.
+"""
+
+from bench_common import dataset_events, finish, run_streaming, score_partition
+from repro.bench import ExperimentResult
+from repro.core import MaxClusterSize
+from repro.graph import AdjacencyGraph
+
+FRACTIONS = (0.01, 0.02, 0.05, 0.10, 0.20, 0.33)
+
+
+def test_e2_quality_vs_reservoir(benchmark):
+    dataset, events = dataset_events("amazon_like")
+    graph = AdjacencyGraph(dataset.edges)
+    m = len(dataset.edges)
+
+    benchmark.pedantic(
+        lambda: run_streaming(events, int(0.10 * m), constraint=MaxClusterSize(120)),
+        rounds=3,
+        iterations=1,
+    )
+
+    result = ExperimentResult(
+        "e2_quality_vs_reservoir",
+        "quality vs reservoir size, amazon_like (constrained + unconstrained)",
+        metadata={"dataset": "amazon_like", "edges": m},
+    )
+    for fraction in FRACTIONS:
+        capacity = max(1, int(fraction * m))
+        bounded = run_streaming(
+            events, capacity, constraint=MaxClusterSize(120), seed=1
+        )
+        free = run_streaming(events, capacity, seed=1)
+        bounded_row = score_partition(bounded.snapshot(), dataset, graph)
+        free_row = score_partition(free.snapshot(), dataset, graph)
+        result.add_row(
+            reservoir_pct=round(100 * fraction, 1),
+            capacity=capacity,
+            nmi_bounded=bounded_row["nmi"],
+            f1_bounded=bounded_row["f1"],
+            nmi_free=free_row["nmi"],
+            f1_free=free_row["f1"],
+            max_size_free=free_row["max_size"],
+        )
+    finish(result)
+
+    rows = result.rows
+    # Constrained quality must improve substantially from 1% to 33%.
+    assert rows[-1]["f1_bounded"] > rows[0]["f1_bounded"]
+    # The unconstrained variant must show the giant-merge pathology.
+    assert rows[-1]["max_size_free"] > 10 * 120

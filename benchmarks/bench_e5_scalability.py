@@ -1,0 +1,63 @@
+"""E5 — throughput scalability with graph size (figure reconstruction).
+
+The streaming clusterer's per-event cost is amortized poly-logarithmic
+in the graph size, so throughput should stay *nearly flat* as the
+stream grows from thousands to hundreds of thousands of edges — while
+any offline comparator's per-event cost grows linearly (E4 shows that
+side). Swept over an SBM family with fixed average degree and fixed
+reservoir *fraction*.
+
+Expected shape: events/sec roughly constant (within a small factor)
+across a 32x growth in stream length.
+"""
+
+from bench_common import finish, run_streaming
+from repro.bench import ExperimentResult, measure_throughput
+from repro.core import ClustererConfig, StreamingGraphClusterer
+from repro.streams import insert_only_stream, planted_partition
+
+SIZES = (1000, 2000, 4000, 8000, 16000, 32000)
+
+
+def _workload(n: int):
+    communities = max(4, n // 250)
+    graph = planted_partition(
+        n, communities, p_in=min(1.0, 10.0 / (n / communities)), p_out=2.0 / n,
+        seed=51,
+    )
+    return insert_only_stream(graph.edges, seed=51)
+
+
+def test_e5_scalability(benchmark):
+    events_mid = _workload(8000)
+    benchmark.pedantic(
+        lambda: run_streaming(events_mid, len(events_mid) // 10, seed=3),
+        rounds=3,
+        iterations=1,
+    )
+
+    result = ExperimentResult(
+        "e5_scalability",
+        "streaming throughput vs graph size (SBM, fixed avg degree ~10)",
+    )
+    throughputs = []
+    for n in SIZES:
+        events = _workload(n)
+        clusterer = StreamingGraphClusterer(
+            ClustererConfig(
+                reservoir_capacity=max(1, len(events) // 10), strict=False, seed=3
+            )
+        )
+        outcome = measure_throughput(clusterer, events)
+        throughputs.append(outcome.events_per_second)
+        result.add_row(
+            vertices=n,
+            events=len(events),
+            events_per_sec=round(outcome.events_per_second),
+            us_per_event=round(outcome.microseconds_per_event, 1),
+            clusters=clusterer.num_clusters,
+        )
+    finish(result)
+
+    # Near-flat scaling: 32x more stream, less than 4x throughput loss.
+    assert max(throughputs) < 4 * min(throughputs)

@@ -1,0 +1,102 @@
+"""E6 — deletions and drift: quality tracking under churn (figure).
+
+The paper's stream model includes deletions; this experiment shows the
+clusterer *tracking* a changing ground truth. A drifting SBM moves 25%
+of the vertices to new communities each phase (deleting stale edges,
+adding fresh ones). After every phase we score:
+
+* the streaming clusterer (processed every event incrementally),
+* a one-shot offline Louvain computed at phase 0 and never updated,
+* a periodic Louvain recomputed once per phase (the affordable offline
+  deployment).
+
+Expected shape: streaming quality stays roughly flat across phases; the
+stale offline clustering decays monotonically; periodic recompute
+matches streaming quality but at E4's throughput cost.
+"""
+
+from bench_common import finish
+from repro.baselines import louvain
+from repro.bench import ExperimentResult
+from repro.core import ClustererConfig, MaxClusterSize, StreamingGraphClusterer
+from repro.graph import AdjacencyGraph
+from repro.quality import pairwise_f1
+from repro.streams import drifting_sbm_stream
+
+PHASES = 6
+
+
+def _phases():
+    return drifting_sbm_stream(
+        num_vertices=500,
+        num_communities=10,
+        p_in=0.2,
+        p_out=0.0004,
+        num_phases=PHASES,
+        migrate_fraction=0.25,
+        seed=61,
+    )
+
+
+def test_e6_deletion_tracking(benchmark):
+    phases = _phases()
+
+    def run_all():
+        clusterer = StreamingGraphClusterer(
+            ClustererConfig(
+                reservoir_capacity=5000,
+                constraint=MaxClusterSize(80),
+                strict=False,
+                seed=4,
+            )
+        )
+        for phase in phases:
+            clusterer.process(phase.events)
+        return clusterer
+
+    benchmark.pedantic(run_all, rounds=3, iterations=1)
+
+    result = ExperimentResult(
+        "e6_deletions",
+        "quality tracking under community drift (25% migration per phase)",
+    )
+    clusterer = StreamingGraphClusterer(
+        ClustererConfig(
+            reservoir_capacity=5000,
+            constraint=MaxClusterSize(80),
+            strict=False,
+            seed=4,
+        )
+    )
+    graph = AdjacencyGraph()
+    stale = None
+    streaming_scores = []
+    stale_scores = []
+    for index, phase in enumerate(phases):
+        clusterer.process(phase.events)
+        for event in phase.events:
+            if event.kind.value == "add_edge":
+                graph.add_edge(event.u, event.v)
+            else:
+                graph.remove_edge(event.u, event.v)
+        if stale is None:
+            stale = louvain(graph, seed=4)
+        periodic = louvain(graph, seed=4)
+        live = clusterer.snapshot().merged_small_clusters(min_size=3)
+        streaming_f1 = pairwise_f1(live, phase.truth)
+        stale_f1 = pairwise_f1(stale, phase.truth)
+        streaming_scores.append(streaming_f1)
+        stale_scores.append(stale_f1)
+        result.add_row(
+            phase=index,
+            events=len(phase.events),
+            streaming_f1=round(streaming_f1, 3),
+            stale_louvain_f1=round(stale_f1, 3),
+            periodic_louvain_f1=round(pairwise_f1(periodic, phase.truth), 3),
+            reservoir_deletions=clusterer.stats.sample_deletions,
+        )
+    finish(result)
+
+    # Streaming holds; the stale clustering decays.
+    assert min(streaming_scores) > 0.6
+    assert stale_scores[-1] < 0.5 * stale_scores[0]

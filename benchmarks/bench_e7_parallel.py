@@ -1,0 +1,65 @@
+"""E7 — parallel scaling by hash-sharding (figure reconstruction).
+
+The abstract: the algorithm "can be easily parallelized". Shards ingest
+disjoint hash-partitions of the edge stream with zero coordination;
+clusters are the components of the union of shard samples, merged at
+query time with a cheap union-find pass.
+
+Reported per shard count W ∈ {1, 2, 4, 8}:
+
+* shard balance = total events / busiest shard — the speedup a W-core
+  machine achieves (ingestion is embarrassingly parallel), measured,
+  not modeled;
+* merge cost — the wall-clock of the query-time component merge;
+* merged clustering quality (to show sharding does not hurt quality).
+
+This host has a single core, so wall-clock speedup cannot be observed
+directly; the balance column is the hardware-independent quantity (see
+DESIGN.md substitutions). Expected shape: balance ≈ W, flat quality.
+"""
+
+from bench_common import dataset_events, finish, timed
+from repro.bench import ExperimentResult
+from repro.core import ClustererConfig, MaxClusterSize, ShardedClusterer
+from repro.quality import nmi
+
+SHARDS = (1, 2, 4, 8)
+
+
+def test_e7_parallel_scaling(benchmark):
+    dataset, events = dataset_events("amazon_like")
+    config = ClustererConfig(
+        reservoir_capacity=len(events) // 3,
+        constraint=MaxClusterSize(120),
+        strict=False,
+        seed=5,
+    )
+
+    benchmark.pedantic(
+        lambda: ShardedClusterer(config, num_shards=4).process(events),
+        rounds=3,
+        iterations=1,
+    )
+
+    result = ExperimentResult(
+        "e7_parallel",
+        "shard scaling on amazon_like (balance = speedup on W cores)",
+    )
+    for shards in SHARDS:
+        sharded = ShardedClusterer(config, num_shards=shards).process(events)
+        merged, merge_seconds = timed(sharded.snapshot)
+        quality = nmi(merged.merged_small_clusters(min_size=3), dataset.truth)
+        result.add_row(
+            shards=shards,
+            busiest_shard_events=max(sharded.shard_events),
+            speedup_on_w_cores=round(sharded.shard_balance, 2),
+            merge_ms=round(1000 * merge_seconds, 1),
+            merged_nmi=round(quality, 3),
+        )
+    finish(result)
+
+    rows = {row["shards"]: row for row in result.rows}
+    assert rows[4]["speedup_on_w_cores"] > 3.5
+    assert rows[8]["speedup_on_w_cores"] > 6.5
+    # Sharding must not collapse quality.
+    assert rows[8]["merged_nmi"] > 0.7 * rows[1]["merged_nmi"]

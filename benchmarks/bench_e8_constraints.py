@@ -1,0 +1,71 @@
+"""E8 — effect of the admission constraints (figure reconstruction).
+
+The paper's reservoir maintains "desired properties like bounding number
+of clusters or cluster-sizes". This experiment varies the constraint on
+a fixed workload and reports cluster-shape and quality consequences:
+
+* ``MaxClusterSize`` sweep — the bound caps the largest cluster (hard
+  invariant) and, set near the true community size, *improves* quality
+  by rejecting the bridge edges that cause giant merges;
+* ``MinClusterCount`` — keeps at least k clusters alive;
+* unconstrained — the baseline showing the giant-merge failure.
+
+Expected shape: unconstrained has a giant cluster and poor NMI; the
+size bound trades a hair of coverage for large NMI gains, best when the
+bound ≈ the true maximum community size (97 for amazon_like).
+"""
+
+from bench_common import dataset_events, finish, run_streaming, score_partition
+from repro.bench import ExperimentResult
+from repro.core import MaxClusterSize, MinClusterCount
+from repro.graph import AdjacencyGraph
+
+BOUNDS = (30, 60, 120, 240, 480)
+
+
+def test_e8_constraints(benchmark):
+    dataset, events = dataset_events("amazon_like")
+    graph = AdjacencyGraph(dataset.edges)
+    capacity = len(events) // 3
+
+    benchmark.pedantic(
+        lambda: run_streaming(events, capacity, constraint=MaxClusterSize(120), seed=6),
+        rounds=3,
+        iterations=1,
+    )
+
+    result = ExperimentResult(
+        "e8_constraints",
+        "constraint policies on amazon_like (33% reservoir)",
+        metadata={"true_max_community": dataset.truth.sizes()[0]},
+    )
+
+    free = run_streaming(events, capacity, seed=6)
+    row = score_partition(free.snapshot(), dataset, graph)
+    result.add_row(constraint="unconstrained", vetoes=free.stats.vetoes, **row)
+
+    for bound in BOUNDS:
+        clusterer = run_streaming(
+            events, capacity, constraint=MaxClusterSize(bound), seed=6
+        )
+        row = score_partition(clusterer.snapshot(), dataset, graph)
+        result.add_row(
+            constraint=f"MaxClusterSize({bound})",
+            vetoes=clusterer.stats.vetoes,
+            **row,
+        )
+        assert row["max_size"] <= bound  # the hard invariant
+
+    floor = run_streaming(
+        events, capacity, constraint=MinClusterCount(500), seed=6
+    )
+    row = score_partition(floor.snapshot(), dataset, graph)
+    result.add_row(constraint="MinClusterCount(500)", vetoes=floor.stats.vetoes, **row)
+    assert row["clusters"] >= 500
+    finish(result)
+
+    rows = {r["constraint"]: r for r in result.rows}
+    # The well-chosen bound beats unconstrained by a wide margin.
+    assert rows["MaxClusterSize(120)"]["nmi"] > rows["unconstrained"]["nmi"] + 0.2
+    # Too-tight bounds shred communities: quality drops again.
+    assert rows["MaxClusterSize(120)"]["f1"] > rows["MaxClusterSize(30)"]["f1"]

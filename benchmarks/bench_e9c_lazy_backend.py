@@ -1,0 +1,83 @@
+"""E9c — the lazy connectivity backend's cost model (ablation).
+
+``LazyRebuildConnectivity`` moves all deletion cost to query time: a
+firehose consumer that snapshots rarely should ingest at near
+union-find speed. Measured on a deletion-heavy (sliding-window) stream
+under two query patterns:
+
+* ingest-only (single snapshot at the end) — lazy's home turf;
+* query-per-100-events — the rebuild-per-query regime where the
+  always-current backends win.
+
+Expected shape: lazy >> naive ≥ hdt on ingest-only; the ordering
+flips as query frequency rises.
+"""
+
+from bench_common import finish
+from repro.bench import ExperimentResult
+from repro.core import ClustererConfig, SlidingWindowClusterer
+from repro.streams import insert_only_stream, planted_partition
+from repro.util.timer import Stopwatch
+
+QUERY_EVERY = 100
+
+
+def _workload():
+    graph = planted_partition(2000, 10, p_in=0.05, p_out=0.0005, seed=93)
+    return insert_only_stream(graph.edges, seed=93) + insert_only_stream(
+        graph.edges, seed=94
+    )
+
+
+def _run(backend: str, events, query_every: int | None):
+    window = SlidingWindowClusterer(
+        ClustererConfig(
+            reservoir_capacity=1500,
+            connectivity_backend=backend,
+            strict=False,
+            seed=7,
+        ),
+        window=5000,
+    )
+    watch = Stopwatch().start()
+    for index, event in enumerate(events):
+        window.apply(event)
+        if query_every is not None and index % query_every == 0:
+            window.inner.num_clusters  # noqa: B018 - the query under test
+    seconds = watch.stop()
+    return window, seconds
+
+
+def test_e9c_lazy_backend_cost_model(benchmark):
+    events = _workload()
+    benchmark.pedantic(lambda: _run("lazy", events, None), rounds=3, iterations=1)
+
+    result = ExperimentResult(
+        "e9c_lazy_backend",
+        "lazy vs eager backends under two query patterns (window churn)",
+    )
+    throughput = {}
+    for pattern, query_every in (("ingest-only", None), (f"query/{QUERY_EVERY}", QUERY_EVERY)):
+        for backend in ("lazy", "naive", "hdt"):
+            window, seconds = _run(backend, events, query_every)
+            events_per_sec = round(len(events) / seconds)
+            throughput[(pattern, backend)] = events_per_sec
+            row = {
+                "pattern": pattern,
+                "backend": backend,
+                "events_per_sec": events_per_sec,
+                "clusters": window.num_clusters,
+            }
+            inner_conn = window.inner._conn
+            row["rebuilds"] = getattr(inner_conn, "rebuilds", "-")
+            result.add_row(**row)
+    finish(result)
+
+    # Lazy dominates when queries are rare...
+    assert throughput[("ingest-only", "lazy")] > throughput[("ingest-only", "hdt")]
+    assert throughput[("ingest-only", "lazy")] > throughput[("ingest-only", "naive")]
+    # ...and pays for it when they are frequent.
+    assert (
+        throughput[(f"query/{QUERY_EVERY}", "lazy")]
+        < throughput[("ingest-only", "lazy")]
+    )

@@ -1,0 +1,70 @@
+"""Tracking drifting communities with a single online clusterer.
+
+Scenario: a social graph whose community structure *changes* — users
+migrate between interest groups, their old ties dissolve and new ones
+form. An offline algorithm would have to re-run after every batch; the
+streaming clusterer just keeps consuming the add/delete stream and its
+clustering follows the drift.
+
+The script generates several drift phases (each moves 25% of the users
+to a new community), scores the clustering against the *current* ground
+truth after each phase, and also scores a stale offline clustering
+computed once at the start — showing why incremental matters.
+
+Run:  python examples/community_drift_tracking.py
+"""
+
+from repro import ClustererConfig, MaxClusterSize, StreamingGraphClusterer
+from repro.baselines import louvain
+from repro.graph import AdjacencyGraph
+from repro.quality import pairwise_f1
+from repro.streams import drifting_sbm_stream
+
+
+def main() -> None:
+    phases = drifting_sbm_stream(
+        num_vertices=400,
+        num_communities=8,
+        p_in=0.25,
+        p_out=0.0005,
+        num_phases=6,
+        migrate_fraction=0.25,
+        seed=13,
+    )
+    total_events = sum(len(phase.events) for phase in phases)
+    print(f"workload: 400 vertices, 8 drifting communities, "
+          f"{len(phases)} phases, {total_events} events total\n")
+
+    clusterer = StreamingGraphClusterer(
+        ClustererConfig(
+            reservoir_capacity=4000, constraint=MaxClusterSize(80), seed=13
+        )
+    )
+
+    # Offline comparator: clustered once on the phase-0 graph, never updated.
+    stale_partition = None
+
+    print(f"{'phase':>5}  {'events':>7}  {'streaming F1':>12}  {'stale offline F1':>16}")
+    for index, phase in enumerate(phases):
+        clusterer.process(phase.events)
+        live = clusterer.snapshot().merged_small_clusters(min_size=3)
+        streaming_score = pairwise_f1(live, phase.truth)
+        if stale_partition is None:
+            graph = AdjacencyGraph(
+                clusterer.graph.edges() if clusterer.graph else []
+            )
+            stale_partition = louvain(graph, seed=13)
+        stale_score = pairwise_f1(stale_partition, phase.truth)
+        print(f"{index:>5}  {len(phase.events):>7}  {streaming_score:>12.3f}  "
+              f"{stale_score:>16.3f}")
+
+    print("\nThe streaming clusterer's quality holds as communities move;")
+    print("the one-shot offline clustering decays with every phase.")
+    stats = clusterer.stats
+    print(f"\nstream stats: {stats.edge_adds} adds, {stats.edge_deletes} deletes, "
+          f"{stats.sample_deletions} reservoir deletions, "
+          f"{stats.component_splits} cluster splits")
+
+
+if __name__ == "__main__":
+    main()

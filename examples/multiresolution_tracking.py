@@ -1,0 +1,91 @@
+"""Multi-resolution clustering + lifecycle tracking on one stream.
+
+Two extensions working together:
+
+* :class:`MultiResolutionClusterer` maintains clusterings at several
+  reservoir sizes at once, so "how tightly related are u and v?" gets a
+  graded answer (the level where they separate) instead of a boolean.
+* :class:`ClusterTracker` turns raw component labels into *stable*
+  cluster identities with BORN/DIED/CONTINUED/SPLIT/MERGED events —
+  what a monitoring deployment actually alerts on.
+
+The workload drifts: after an initial phase, two communities merge
+(their members start interacting) and one community splits. Watch the
+tracker report exactly those events at the working resolution.
+
+Run:  python examples/multiresolution_tracking.py
+"""
+
+import random
+
+from repro import ClustererConfig, MaxClusterSize
+from repro.core.hierarchy import MultiResolutionClusterer
+from repro.core.tracking import ClusterEventKind, ClusterTracker
+from repro.streams import add_edge
+
+GROUPS = {name: list(range(i * 40, (i + 1) * 40))
+          for i, name in enumerate(["alpha", "beta", "gamma", "delta"])}
+
+
+def phase_events(rng, phase, count):
+    """Intra-group edges; in phase 2+ alpha+beta behave as one group and
+    gamma behaves as two halves."""
+    events = []
+    for _ in range(count):
+        if phase >= 2 and rng.random() < 0.3:
+            members = GROUPS["alpha"] + GROUPS["beta"]  # merged behaviour
+        elif phase >= 2 and rng.random() < 0.4:
+            half = GROUPS["gamma"][:20] if rng.random() < 0.5 else GROUPS["gamma"][20:]
+            members = half  # split behaviour
+        else:
+            name = rng.choice(list(GROUPS))
+            members = GROUPS[name]
+            if phase >= 2 and name == "gamma":
+                members = GROUPS["gamma"][:20]  # old gamma ties fade
+        u, v = rng.sample(members, 2)
+        events.append(add_edge(u, v))
+    return events
+
+
+def main() -> None:
+    rng = random.Random(47)
+    bank = MultiResolutionClusterer(
+        ClustererConfig(
+            reservoir_capacity=3000,
+            constraint=MaxClusterSize(100),
+            strict=False,
+            seed=47,
+        ),
+        num_levels=3,
+        ratio=5.0,
+    )
+    print(f"resolution bank capacities: {bank.capacities()}\n")
+    tracker = ClusterTracker(threshold=0.25, min_size=10)
+
+    for phase in (1, 2, 3):
+        bank.process(phase_events(rng, phase, 4000))
+        report = tracker.update(bank.snapshot(0))  # track at the coarsest level
+        print(f"phase {phase}:")
+        for event in report.events:
+            if event.kind is ClusterEventKind.CONTINUED:
+                print(f"  continued cluster #{event.stable_ids[0]} (size {event.size})")
+            elif event.kind is ClusterEventKind.MERGED:
+                parents = ", ".join(f"#{i}" for i in event.stable_ids[:-1])
+                print(f"  MERGED {parents} -> #{event.stable_ids[-1]} (size {event.size})")
+            elif event.kind is ClusterEventKind.SPLIT:
+                print(f"  SPLIT from #{event.stable_ids[0]} -> #{event.stable_ids[1]} "
+                      f"(size {event.size})")
+            elif event.kind is ClusterEventKind.BORN:
+                print(f"  born cluster #{event.stable_ids[0]} (size {event.size})")
+            else:
+                print(f"  died cluster #{event.stable_ids[0]}")
+        print(f"  snapshot stability (ARI vs previous): {report.stability:.3f}")
+
+        a, b = GROUPS["alpha"][0], GROUPS["beta"][0]
+        level = bank.coarsest_split_level(a, b)
+        print(f"  alpha[0] vs beta[0]: affinity {bank.affinity(a, b):.2f}, "
+              f"separate at level {level}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: cluster a streaming graph with graph reservoir sampling.
+
+Feeds a planted-community edge stream (with some churn) through the
+streaming clusterer and compares the declared clusters against the
+planted ground truth and an offline Louvain run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClustererConfig, MaxClusterSize, StreamingGraphClusterer
+from repro.baselines import louvain
+from repro.graph import AdjacencyGraph
+from repro.quality import modularity, nmi, pairwise_f1
+from repro.streams import insert_delete_stream, planted_partition
+
+
+def main() -> None:
+    # A 1000-vertex graph with 10 planted communities.
+    graph = planted_partition(
+        num_vertices=1000, num_communities=10, p_in=0.2, p_out=0.0002, seed=7
+    )
+    print(f"workload: {graph.num_vertices} vertices, {graph.num_edges} edges, "
+          f"{graph.truth.num_clusters} planted communities")
+
+    # Stream it with 30% of the edges churned (deleted and re-added),
+    # exercising the full add/delete path.
+    events = insert_delete_stream(graph.edges, churn=0.3, seed=7)
+    print(f"stream: {len(events)} events (adds + deletes)")
+
+    # The clusterer keeps a ~17% edge reservoir and bounds cluster sizes
+    # near the planted community size to stop bridge edges from gluing
+    # communities together.
+    config = ClustererConfig(
+        reservoir_capacity=graph.num_edges // 6,
+        constraint=MaxClusterSize(150),
+        seed=7,
+    )
+    clusterer = StreamingGraphClusterer(config)
+    clusterer.process(events)
+
+    snapshot = clusterer.snapshot()
+    print(f"\nstreaming result: {snapshot.num_clusters} clusters, "
+          f"largest {snapshot.max_cluster_size}")
+    print(f"  reservoir: {clusterer.reservoir_size}/{config.reservoir_capacity} edges")
+    print(f"  events processed: {clusterer.stats.events} "
+          f"(admissions {clusterer.stats.admissions}, vetoes {clusterer.stats.vetoes})")
+
+    full_graph = AdjacencyGraph(graph.edges)
+    offline = louvain(full_graph, seed=7)
+    print("\nquality vs planted communities (higher is better):")
+    print(f"  streaming : NMI {nmi(snapshot, graph.truth):.3f}  "
+          f"F1 {pairwise_f1(snapshot, graph.truth):.3f}  "
+          f"Q {modularity(full_graph, snapshot):.3f}")
+    print(f"  louvain   : NMI {nmi(offline, graph.truth):.3f}  "
+          f"F1 {pairwise_f1(offline, graph.truth):.3f}  "
+          f"Q {modularity(full_graph, offline):.3f}")
+
+    # Point queries are O(log n) at any moment during the stream.
+    u, v = 0, 10  # same planted community (vertex % 10 == community)
+    print(f"\nsame_cluster({u}, {v}) = {clusterer.same_cluster(u, v)}")
+    print(f"cluster_size({u}) = {clusterer.cluster_size(u)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Thin setup.py shim.
+
+The environment has no `wheel` package, so PEP 660 editable installs
+(`pip install -e .` with pyproject-only metadata) fail with
+"invalid command 'bdist_wheel'". This shim enables the legacy editable
+path: `pip install -e . --no-build-isolation --no-use-pep517`.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro — reproduction of "Clustering Streaming Graphs" (ICDCS 2012).
+
+A. Eldawy, R. Khandekar, K.-L. Wu. DOI 10.1109/ICDCS.2012.20.
+
+The library clusters large, fully-dynamic graphs online: a bounded
+**reservoir sample of the edges** is maintained as the graph changes
+(additions *and* deletions), optionally under cluster-shape constraints,
+and the **connected components of the sampled sub-graph** are declared
+as the clusters of the original graph.
+
+Quickstart
+----------
+>>> from repro import StreamingGraphClusterer, ClustererConfig, add_edge
+>>> clusterer = StreamingGraphClusterer(ClustererConfig(reservoir_capacity=1000))
+>>> clusterer.apply(add_edge("alice", "bob"))
+>>> clusterer.same_cluster("alice", "bob")
+True
+
+Packages
+--------
+* :mod:`repro.core` — the streaming clusterer (+ sharded / windowed).
+* :mod:`repro.connectivity` — fully-dynamic connectivity (HDT, ETT, …).
+* :mod:`repro.sampling` — reservoir samplers (Algorithm R/L, random
+  pairing, Bernoulli).
+* :mod:`repro.streams` — event model, generators (SBM, LFR-style,
+  drift), orders, I/O.
+* :mod:`repro.baselines` — offline comparators (Louvain, LPA, spectral,
+  multilevel/METIS-like, MCL) built from scratch.
+* :mod:`repro.quality` — modularity, conductance, NMI/ARI/F1, …
+* :mod:`repro.datasets` — real fixture + synthetic stand-in registry.
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+"""
+
+from repro.core import (
+    ClusterEvent,
+    ClusterEventKind,
+    ClusterTracker,
+    ClustererConfig,
+    ClustererStats,
+    CompositeConstraint,
+    ConstraintPolicy,
+    DeletionPolicy,
+    MaxClusterSize,
+    MinClusterCount,
+    MultiResolutionClusterer,
+    ShardedClusterer,
+    SlidingWindowClusterer,
+    StreamingGraphClusterer,
+    TimeWindowClusterer,
+    Unconstrained,
+    WeightedStreamingClusterer,
+    cluster_stream_parallel,
+)
+from repro.errors import ReproError, StreamError, UnsupportedOperationError
+from repro.quality.partition import Partition
+from repro.streams.events import (
+    EdgeEvent,
+    EventKind,
+    add_edge,
+    add_vertex,
+    delete_edge,
+    delete_vertex,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterEvent",
+    "ClusterEventKind",
+    "ClusterTracker",
+    "ClustererConfig",
+    "ClustererStats",
+    "CompositeConstraint",
+    "ConstraintPolicy",
+    "DeletionPolicy",
+    "EdgeEvent",
+    "EventKind",
+    "MaxClusterSize",
+    "MinClusterCount",
+    "MultiResolutionClusterer",
+    "Partition",
+    "ReproError",
+    "ShardedClusterer",
+    "SlidingWindowClusterer",
+    "StreamError",
+    "StreamingGraphClusterer",
+    "TimeWindowClusterer",
+    "Unconstrained",
+    "WeightedStreamingClusterer",
+    "UnsupportedOperationError",
+    "__version__",
+    "add_edge",
+    "add_vertex",
+    "cluster_stream_parallel",
+    "delete_edge",
+    "delete_vertex",
+]

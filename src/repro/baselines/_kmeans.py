@@ -1,0 +1,76 @@
+"""Minimal k-means with k-means++ seeding (used by spectral clustering)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import child_seed, make_rng
+from repro.util.validation import check_positive
+
+__all__ = ["kmeans"]
+
+
+def _kmeanspp_init(points: np.ndarray, k: int, rng) -> np.ndarray:
+    """k-means++ initial centers."""
+    n = len(points)
+    centers = np.empty((k, points.shape[1]), dtype=points.dtype)
+    first = rng.randrange(n)
+    centers[0] = points[first]
+    distances = np.sum((points - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = distances.sum()
+        if total <= 0:
+            # All remaining points coincide with a center; pick arbitrarily.
+            centers[i] = points[rng.randrange(n)]
+            continue
+        threshold = rng.random() * total
+        index = int(np.searchsorted(np.cumsum(distances), threshold))
+        index = min(index, n - 1)
+        centers[i] = points[index]
+        distances = np.minimum(distances, np.sum((points - centers[i]) ** 2, axis=1))
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+) -> np.ndarray:
+    """Cluster ``points`` (n × d) into ``k`` groups; returns labels (n,).
+
+    Lloyd's algorithm with k-means++ seeding; empty clusters are
+    re-seeded with the point farthest from its center.
+    """
+    check_positive("k", k)
+    n = len(points)
+    if k >= n:
+        return np.arange(n)
+    rng = make_rng(child_seed(seed, "kmeans"))
+    centers = _kmeanspp_init(points, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iterations):
+        # Assignment step (vectorized squared distances).
+        distances = (
+            np.sum(points**2, axis=1)[:, None]
+            - 2 * points @ centers.T
+            + np.sum(centers**2, axis=1)[None, :]
+        )
+        new_labels = np.argmin(distances, axis=1)
+        # Update step.
+        new_centers = centers.copy()
+        for c in range(k):
+            mask = new_labels == c
+            if mask.any():
+                new_centers[c] = points[mask].mean(axis=0)
+            else:
+                farthest = int(np.argmax(np.min(distances, axis=1)))
+                new_centers[c] = points[farthest]
+        shift = float(np.sum((new_centers - centers) ** 2))
+        centers = new_centers
+        if np.array_equal(new_labels, labels) or shift < tolerance:
+            labels = new_labels
+            break
+        labels = new_labels
+    return labels

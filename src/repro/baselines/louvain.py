@@ -1,0 +1,148 @@
+"""Louvain modularity optimization (Blondel et al. 2008), from scratch.
+
+The strongest general-purpose offline comparator: two alternating
+phases — greedy local moving of vertices between communities to improve
+modularity, then aggregation of communities into super-vertices —
+repeated until modularity stops improving.
+
+Implemented over an internal weighted adjacency map so aggregation
+levels reuse the same moving routine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.quality.partition import Partition
+from repro.streams.events import Vertex
+from repro.util.rng import child_seed, make_rng
+
+__all__ = ["louvain"]
+
+
+class _WeightedGraph:
+    """Weighted undirected graph with self-loops (aggregation levels)."""
+
+    def __init__(self) -> None:
+        self.adj: Dict[int, Dict[int, float]] = {}
+        self.loops: Dict[int, float] = {}
+        self.total_weight = 0.0  # sum of edge weights, loops included once
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        if u == v:
+            self.loops[u] = self.loops.get(u, 0.0) + weight
+            self.adj.setdefault(u, {})
+        else:
+            self.adj.setdefault(u, {})[v] = self.adj.setdefault(u, {}).get(v, 0.0) + weight
+            self.adj.setdefault(v, {})[u] = self.adj[v].get(u, 0.0) + weight
+        self.total_weight += weight
+
+    def degree(self, u: int) -> float:
+        """Weighted degree; a self-loop contributes twice (standard)."""
+        return sum(self.adj.get(u, {}).values()) + 2.0 * self.loops.get(u, 0.0)
+
+    def nodes(self) -> List[int]:
+        return list(self.adj.keys())
+
+
+def _one_level(
+    graph: _WeightedGraph, rng, resolution: float
+) -> tuple[Dict[int, int], bool]:
+    """Greedy local moving; returns (node→community, improved?)."""
+    community: Dict[int, int] = {u: u for u in graph.adj}
+    degree = {u: graph.degree(u) for u in graph.adj}
+    community_total: Dict[int, float] = dict(degree)  # Σ of degrees per community
+    two_m = 2.0 * graph.total_weight
+    if two_m == 0:
+        return community, False
+    nodes = graph.nodes()
+    rng.shuffle(nodes)
+    improved = False
+    moved = True
+    while moved:
+        moved = False
+        for u in nodes:
+            cu = community[u]
+            # Weights from u to each neighboring community.
+            to_community: Dict[int, float] = {}
+            for v, w in graph.adj[u].items():
+                to_community[community[v]] = to_community.get(community[v], 0.0) + w
+            # Remove u from its community.
+            community_total[cu] -= degree[u]
+            best_c = cu
+            best_gain = to_community.get(cu, 0.0) - resolution * community_total[cu] * degree[u] / two_m
+            for c, w_uc in to_community.items():
+                if c == cu:
+                    continue
+                gain = w_uc - resolution * community_total[c] * degree[u] / two_m
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_c = c
+            community[u] = best_c
+            community_total[best_c] = community_total.get(best_c, 0.0) + degree[u]
+            if best_c != cu:
+                moved = True
+                improved = True
+    return community, improved
+
+
+def _aggregate(graph: _WeightedGraph, community: Dict[int, int]) -> tuple[_WeightedGraph, Dict[int, int]]:
+    """Collapse communities into super-vertices; returns (graph, renumber)."""
+    renumber: Dict[int, int] = {}
+    for c in community.values():
+        if c not in renumber:
+            renumber[c] = len(renumber)
+    coarse = _WeightedGraph()
+    for u in graph.adj:
+        coarse.adj.setdefault(renumber[community[u]], {})
+    # Walk each undirected edge once (u < v); intra-community edges
+    # become self-loops of the super-vertex.
+    for u, neighbours in graph.adj.items():
+        cu = renumber[community[u]]
+        for v, w in neighbours.items():
+            if u > v:
+                continue
+            cv = renumber[community[v]]
+            coarse.add_edge(cu, cv, w)
+    for u, w in graph.loops.items():
+        c = renumber[community[u]]
+        coarse.add_edge(c, c, w)
+    return coarse, renumber
+
+
+def louvain(
+    graph: AdjacencyGraph,
+    seed: int = 0,
+    resolution: float = 1.0,
+    max_levels: int = 32,
+) -> Partition:
+    """Louvain community detection on an unweighted graph.
+
+    Returns a :class:`Partition` over all vertices of ``graph``
+    (isolated vertices become singleton communities).
+    """
+    # Map vertices to dense ints for the internal levels.
+    ids = list(graph.vertices())
+    index_of = {v: i for i, v in enumerate(ids)}
+    level_graph = _WeightedGraph()
+    for v in ids:
+        level_graph.adj.setdefault(index_of[v], {})
+    for u, v in graph.edges():
+        level_graph.add_edge(index_of[u], index_of[v], 1.0)
+
+    rng = make_rng(child_seed(seed, "louvain"))
+    # assignment[i] = community of original vertex i at the current level.
+    assignment = {i: i for i in range(len(ids))}
+    for _ in range(max_levels):
+        community, improved = _one_level(level_graph, rng, resolution)
+        if not improved:
+            break
+        level_graph, renumber = _aggregate(level_graph, community)
+        assignment = {
+            i: renumber[community[assignment[i]]] for i in assignment
+        }
+        if len(level_graph.adj) <= 1:
+            break
+    labels: Dict[Vertex, object] = {ids[i]: c for i, c in assignment.items()}
+    return Partition(labels)

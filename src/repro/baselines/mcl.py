@@ -1,0 +1,84 @@
+"""Markov Cluster algorithm (van Dongen 2000), from scratch on scipy sparse.
+
+MCL simulates flow: alternate *expansion* (matrix squaring — flow
+spreads) and *inflation* (element-wise powering + column normalization —
+strong flows strengthen, weak ones decay) until the matrix reaches a
+(near-)idempotent state whose connected structure gives the clusters.
+
+A whole-graph iterative matrix algorithm — another representative of
+the offline comparators the paper reports orders-of-magnitude
+throughput gains over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.connectivity.union_find import UnionFind
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.csr import CSRGraph
+from repro.quality.partition import Partition
+
+__all__ = ["mcl"]
+
+
+def _normalize_columns(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    sums = np.asarray(matrix.sum(axis=0)).ravel()
+    sums[sums == 0] = 1.0
+    scale = sparse.diags(1.0 / sums)
+    return (matrix @ scale).tocsr()
+
+
+def _prune(matrix: sparse.csr_matrix, threshold: float) -> sparse.csr_matrix:
+    matrix = matrix.tocsr()
+    matrix.data[matrix.data < threshold] = 0.0
+    matrix.eliminate_zeros()
+    return matrix
+
+
+def mcl(
+    graph: AdjacencyGraph,
+    inflation: float = 2.0,
+    expansion: int = 2,
+    max_iterations: int = 60,
+    prune_threshold: float = 1e-4,
+    tolerance: float = 1e-6,
+) -> Partition:
+    """Cluster ``graph`` with MCL.
+
+    ``inflation`` controls granularity (higher → more, smaller clusters).
+    Clusters are read off as connected components of the converged flow
+    matrix's non-zero pattern.
+    """
+    if inflation <= 1.0:
+        raise ValueError(f"inflation must exceed 1.0, got {inflation}")
+    if expansion < 2:
+        raise ValueError(f"expansion must be >= 2, got {expansion}")
+    csr = CSRGraph.from_adjacency(graph)
+    n = csr.num_vertices
+    if n == 0:
+        return Partition({})
+    # Self-loops stabilize the flow (standard MCL preprocessing).
+    matrix = (csr.to_scipy() + sparse.identity(n, format="csr")).tocsr()
+    matrix = _normalize_columns(matrix)
+    for _ in range(max_iterations):
+        previous = matrix.copy()
+        expanded = matrix
+        for _ in range(expansion - 1):
+            expanded = (expanded @ matrix).tocsr()
+        expanded = _prune(expanded, prune_threshold)
+        inflated = expanded.copy()
+        inflated.data = np.power(inflated.data, inflation)
+        matrix = _normalize_columns(inflated)
+        matrix = _prune(matrix, prune_threshold)
+        difference = abs(matrix - previous)
+        if difference.nnz == 0 or difference.max() < tolerance:
+            break
+    # Clusters: connected components of the (symmetrized) flow support.
+    union = UnionFind(range(n))
+    rows, cols = matrix.nonzero()
+    for r, c in zip(rows, cols):
+        union.union(int(r), int(c))
+    labels = {csr.ids[i]: union.find(i) for i in range(n)}
+    return Partition(labels)

@@ -1,0 +1,36 @@
+"""Benchmark harness: timing, memory, result records, table rendering."""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    load_results,
+    repeat,
+    save_results,
+    sweep,
+)
+from repro.bench.memory import MemoryMeasurement, measure_allocations
+from repro.bench.report import consolidated_report, discover_experiments, headline_summary
+from repro.bench.tables import format_value, render_series, render_table
+from repro.bench.throughput import (
+    EventConsumer,
+    ThroughputResult,
+    measure_throughput,
+)
+
+__all__ = [
+    "EventConsumer",
+    "ExperimentResult",
+    "MemoryMeasurement",
+    "consolidated_report",
+    "discover_experiments",
+    "headline_summary",
+    "ThroughputResult",
+    "format_value",
+    "load_results",
+    "measure_allocations",
+    "measure_throughput",
+    "render_series",
+    "render_table",
+    "repeat",
+    "save_results",
+    "sweep",
+]

@@ -1,0 +1,92 @@
+"""Experiment harness: parameter sweeps, repetitions, result records.
+
+Each benchmark under ``benchmarks/`` builds its rows with this harness
+and renders them with :mod:`repro.bench.tables`, so every experiment's
+output is a self-describing record that EXPERIMENTS.md can quote
+verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Sequence
+
+__all__ = ["ExperimentResult", "repeat", "sweep", "save_results", "load_results"]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's rows plus identifying metadata."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, **values: object) -> None:
+        """Append one result row."""
+        self.rows.append(dict(values))
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable view."""
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "rows": self.rows,
+            "metadata": self.metadata,
+        }
+
+
+def repeat(
+    fn: Callable[[int], float], repetitions: int, seeds: Sequence[int] | None = None
+) -> Dict[str, float]:
+    """Run ``fn(seed)`` several times; returns mean/stdev/min/max.
+
+    ``fn`` receives the repetition's seed and returns a scalar.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    seed_list = list(seeds) if seeds is not None else list(range(repetitions))
+    if len(seed_list) < repetitions:
+        raise ValueError("not enough seeds for the requested repetitions")
+    values = [float(fn(seed_list[i])) for i in range(repetitions)]
+    return {
+        "mean": statistics.fmean(values),
+        "stdev": statistics.stdev(values) if len(values) > 1 else 0.0,
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+def sweep(
+    parameter_values: Iterable[object],
+    fn: Callable[[object], Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Evaluate ``fn`` at each parameter value; collect the row dicts."""
+    return [fn(value) for value in parameter_values]
+
+
+def save_results(result: ExperimentResult, directory: str | Path = "bench_results") -> Path:
+    """Persist an experiment record as JSON; returns the file path."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / f"{result.experiment}.json"
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(result.as_dict(), handle, indent=2, default=str)
+    return target
+
+
+def load_results(experiment: str, directory: str | Path = "bench_results") -> ExperimentResult:
+    """Load a previously saved experiment record."""
+    target = Path(directory) / f"{experiment}.json"
+    with open(target, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return ExperimentResult(
+        experiment=payload["experiment"],
+        description=payload["description"],
+        rows=payload["rows"],
+        metadata=payload.get("metadata", {}),
+    )

@@ -1,0 +1,55 @@
+"""Memory-footprint measurement (experiment E10).
+
+Uses ``tracemalloc`` to attribute allocations to the construction of a
+clusterer's state, which is what the paper's memory argument is about:
+the reservoir (plus its connectivity index) is the *only* state the
+lean-mode algorithm keeps, and it is O(reservoir) rather than O(graph).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Tuple, TypeVar
+
+__all__ = ["MemoryMeasurement", "measure_allocations"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class MemoryMeasurement:
+    """Bytes allocated (net and peak) while running a callable."""
+
+    net_bytes: int
+    peak_bytes: int
+
+    @property
+    def net_mib(self) -> float:
+        """Net allocation in MiB."""
+        return self.net_bytes / (1024 * 1024)
+
+    @property
+    def peak_mib(self) -> float:
+        """Peak allocation in MiB."""
+        return self.peak_bytes / (1024 * 1024)
+
+
+def measure_allocations(build: Callable[[], T]) -> Tuple[T, MemoryMeasurement]:
+    """Run ``build`` under tracemalloc; returns (result, measurement).
+
+    The returned *net* figure is the live allocation delta — i.e. the
+    retained footprint of whatever ``build`` constructed and returned.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    before, _ = tracemalloc.get_traced_memory()
+    result = build()
+    after, peak = tracemalloc.get_traced_memory()
+    if not was_tracing:
+        tracemalloc.stop()
+    return result, MemoryMeasurement(
+        net_bytes=max(0, after - before), peak_bytes=max(0, peak - before)
+    )

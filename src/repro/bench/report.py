@@ -1,0 +1,93 @@
+"""Consolidated experiment reporting.
+
+Reads the per-experiment JSON records that the benchmarks write under
+``bench_results/`` and renders one consolidated text report — the
+machine-checkable source for EXPERIMENTS.md. Also usable as a module:
+
+    python -m repro.bench.report [results_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bench.harness import ExperimentResult, load_results
+from repro.bench.tables import render_table
+
+__all__ = ["discover_experiments", "consolidated_report", "headline_summary"]
+
+
+def discover_experiments(directory: str | Path = "bench_results") -> List[str]:
+    """Names of all experiment records present in ``directory``, sorted."""
+    path = Path(directory)
+    if not path.is_dir():
+        return []
+    return sorted(p.stem for p in path.glob("*.json"))
+
+
+def consolidated_report(directory: str | Path = "bench_results") -> str:
+    """Render every stored experiment as one text report."""
+    names = discover_experiments(directory)
+    if not names:
+        return f"no experiment records found under {directory!s}"
+    sections: List[str] = []
+    for name in names:
+        result = load_results(name, directory)
+        sections.append(render_table(result.rows, title=f"{name}: {result.description}"))
+        if result.metadata:
+            meta = ", ".join(f"{k}={v}" for k, v in sorted(result.metadata.items()))
+            sections.append(f"  metadata: {meta}")
+    return "\n\n".join(sections)
+
+
+def headline_summary(directory: str | Path = "bench_results") -> Dict[str, object]:
+    """Extract the headline numbers the README quotes.
+
+    Returns whichever of the following are available:
+    ``throughput_gap`` (E4), ``best_constrained_nmi`` (E8),
+    ``shard_balance_8`` (E7), ``streaming_events_per_sec`` (E4).
+    Missing experiments are simply omitted — callers render what exists.
+    """
+    summary: Dict[str, object] = {}
+    e4 = _try_load("e4_throughput", directory)
+    if e4 is not None and e4.rows:
+        summary["streaming_events_per_sec"] = e4.rows[0].get("events_per_sec")
+        gap = e4.metadata.get("headline_gap")
+        if gap is not None:
+            summary["throughput_gap"] = round(float(gap))
+    e8 = _try_load("e8_constraints", directory)
+    if e8 is not None:
+        nmis = [row.get("nmi") for row in e8.rows if isinstance(row.get("nmi"), (int, float))]
+        if nmis:
+            summary["best_constrained_nmi"] = max(nmis)
+    e7 = _try_load("e7_parallel", directory)
+    if e7 is not None:
+        for row in e7.rows:
+            if row.get("shards") == 8:
+                summary["shard_balance_8"] = row.get("speedup_on_w_cores")
+    return summary
+
+
+def _try_load(name: str, directory: str | Path) -> Optional[ExperimentResult]:
+    try:
+        return load_results(name, directory)
+    except (FileNotFoundError, KeyError, ValueError):
+        return None
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Module entry point: print the consolidated report."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    directory = args[0] if args else "bench_results"
+    print(consolidated_report(directory))
+    summary = headline_summary(directory)
+    if summary:
+        print()
+        print("headlines: " + ", ".join(f"{k}={v}" for k, v in sorted(summary.items())))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Fixed-width table rendering for benchmark output.
+
+Every experiment harness prints its rows through :func:`render_table`
+so EXPERIMENTS.md and terminal output share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly short formatting for table cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Dict[str, object]], title: str | None = None) -> str:
+    """Render dict-rows as an aligned text table (keys of first row = columns)."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(rows[0].keys())
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render figure-style data: one x column plus one column per series."""
+    rows = []
+    for index, x in enumerate(x_values):
+        row: Dict[str, object] = {x_name: x}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return render_table(rows, title=title)

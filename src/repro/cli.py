@@ -1,0 +1,235 @@
+"""Command-line interface.
+
+Three subcommands cover the operational loop a downstream user needs
+without writing Python:
+
+* ``repro generate`` — materialize a workload (registry dataset, SBM,
+  LFR-style, or R-MAT) as an edge-list file (+ optional truth labels);
+* ``repro cluster`` — stream an edge-list or event file through the
+  clusterer and write ``vertex<TAB>cluster`` labels;
+* ``repro score`` — evaluate a labels file against a graph and/or truth
+  labels (modularity, conductance, NMI, ARI, F1).
+
+Examples
+--------
+::
+
+    repro generate --dataset amazon_like --out graph.edges --truth-out truth.labels
+    repro cluster graph.edges --capacity 6000 --max-cluster-size 120 --out found.labels
+    repro score found.labels --graph graph.edges --truth truth.labels
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import (
+    ClustererConfig,
+    CompositeConstraint,
+    ConstraintPolicy,
+    MaxClusterSize,
+    MinClusterCount,
+    StreamingGraphClusterer,
+    Unconstrained,
+)
+from repro.quality import (
+    Partition,
+    ari,
+    average_conductance,
+    modularity,
+    nmi,
+    pairwise_f1,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clustering streaming graphs by graph reservoir sampling "
+        "(reproduction of Eldawy/Khandekar/Wu, ICDCS 2012).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="materialize a workload")
+    source = generate.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", help="registry dataset name (see repro.datasets)")
+    source.add_argument("--sbm", nargs=4, metavar=("N", "K", "P_IN", "P_OUT"),
+                        help="planted partition: vertices, communities, p_in, p_out")
+    source.add_argument("--lfr", nargs=2, metavar=("N", "MU"),
+                        help="LFR-style benchmark: vertices, mixing")
+    source.add_argument("--rmat", nargs=2, metavar=("SCALE", "EDGES"),
+                        help="R-MAT: 2^scale vertices, edge count")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="edge-list output path")
+    generate.add_argument("--truth-out", help="ground-truth labels output path")
+
+    cluster = commands.add_parser("cluster", help="cluster a streamed graph")
+    cluster.add_argument("input", help="edge-list file (or event stream with --events)")
+    cluster.add_argument("--events", action="store_true",
+                         help="input is a +/- event stream, not an edge list")
+    cluster.add_argument("--capacity", type=int, required=True,
+                         help="reservoir capacity (edges)")
+    cluster.add_argument("--max-cluster-size", type=int,
+                         help="bound every cluster's size")
+    cluster.add_argument("--min-clusters", type=int,
+                         help="keep at least this many clusters")
+    cluster.add_argument("--backend", choices=("hdt", "naive", "lazy"), default="hdt")
+    cluster.add_argument("--lean", action="store_true",
+                         help="do not track the full graph (reservoir-only memory)")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--out", help="labels output path (default: stdout)")
+    cluster.add_argument("--min-size", type=int, default=1,
+                         help="fold clusters smaller than this into one bucket")
+
+    score = commands.add_parser("score", help="evaluate a clustering")
+    score.add_argument("labels", help="vertex<TAB>cluster labels file")
+    score.add_argument("--graph", help="edge-list file for internal metrics")
+    score.add_argument("--truth", help="ground-truth labels file for external metrics")
+    return parser
+
+
+def _read_labels(path: str) -> Partition:
+    labels: Dict[object, object] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{line_number}: expected 'vertex label'")
+            vertex = _parse(parts[0])
+            labels[vertex] = parts[1]
+    return Partition(labels)
+
+
+def _parse(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _write_labels(partition: Partition, path: Optional[str]) -> None:
+    handle = open(path, "w", encoding="utf-8") if path else sys.stdout
+    try:
+        for index, members in enumerate(partition.clusters()):
+            for vertex in sorted(members, key=repr):
+                handle.write(f"{vertex}\t{index}\n")
+    finally:
+        if path:
+            handle.close()
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    from repro.streams import lfr_graph, planted_partition, rmat_edges, write_edge_list
+
+    truth: Optional[Partition] = None
+    if args.dataset:
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset(args.dataset, seed=args.seed)
+        edges, truth = dataset.edges, dataset.truth
+    elif args.sbm:
+        n, k, p_in, p_out = args.sbm
+        graph = planted_partition(int(n), int(k), float(p_in), float(p_out), seed=args.seed)
+        edges, truth = graph.edges, graph.truth
+    elif args.lfr:
+        n, mu = args.lfr
+        graph = lfr_graph(int(n), mu=float(mu), seed=args.seed)
+        edges, truth = graph.edges, graph.truth
+    else:
+        scale, num_edges = args.rmat
+        edges = rmat_edges(int(scale), int(num_edges), seed=args.seed)
+    count = write_edge_list(edges, args.out)
+    print(f"wrote {count} edges to {args.out}")
+    if args.truth_out:
+        if truth is None:
+            print("warning: source has no ground truth; --truth-out skipped",
+                  file=sys.stderr)
+        else:
+            _write_labels(truth, args.truth_out)
+            print(f"wrote {truth.num_vertices} truth labels to {args.truth_out}")
+    return 0
+
+
+def _build_constraint(args: argparse.Namespace) -> ConstraintPolicy:
+    policies: List[ConstraintPolicy] = []
+    if args.max_cluster_size:
+        policies.append(MaxClusterSize(args.max_cluster_size))
+    if args.min_clusters:
+        policies.append(MinClusterCount(args.min_clusters))
+    if not policies:
+        return Unconstrained()
+    if len(policies) == 1:
+        return policies[0]
+    return CompositeConstraint(policies)
+
+
+def _run_cluster(args: argparse.Namespace) -> int:
+    from repro.streams import insert_only_stream, read_edge_list, read_event_stream
+
+    config = ClustererConfig(
+        reservoir_capacity=args.capacity,
+        constraint=_build_constraint(args),
+        connectivity_backend=args.backend,
+        track_graph=not args.lean,
+        strict=False,
+        seed=args.seed,
+    )
+    clusterer = StreamingGraphClusterer(config)
+    if args.events:
+        clusterer.process(read_event_stream(args.input))
+    else:
+        clusterer.process(insert_only_stream(read_edge_list(args.input), seed=args.seed))
+    snapshot = clusterer.snapshot()
+    if args.min_size > 1:
+        snapshot = snapshot.merged_small_clusters(min_size=args.min_size)
+    _write_labels(snapshot, args.out)
+    stats = clusterer.stats
+    print(
+        f"processed {stats.events} events: {snapshot.num_clusters} clusters, "
+        f"largest {snapshot.max_cluster_size}, reservoir "
+        f"{clusterer.reservoir_size}/{config.reservoir_capacity}, "
+        f"{stats.vetoes} constraint vetoes",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_score(args: argparse.Namespace) -> int:
+    predicted = _read_labels(args.labels)
+    print(f"clusters: {predicted.num_clusters}  vertices: {predicted.num_vertices}  "
+          f"largest: {predicted.max_cluster_size}")
+    if args.graph:
+        from repro.graph import AdjacencyGraph
+        from repro.streams import read_edge_list
+
+        graph = AdjacencyGraph(read_edge_list(args.graph))
+        print(f"modularity: {modularity(graph, predicted):.4f}")
+        print(f"avg_conductance: {average_conductance(graph, predicted):.4f}")
+    if args.truth:
+        truth = _read_labels(args.truth)
+        print(f"nmi: {nmi(predicted, truth):.4f}")
+        print(f"ari: {ari(predicted, truth):.4f}")
+        print(f"pairwise_f1: {pairwise_f1(predicted, truth):.4f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _run_generate(args)
+    if args.command == "cluster":
+        return _run_cluster(args)
+    return _run_score(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

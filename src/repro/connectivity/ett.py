@@ -1,0 +1,450 @@
+"""Euler-tour trees over randomized treaps.
+
+An Euler-tour tree (ETT) represents each tree of a forest as the Euler
+tour of that tree, stored in a balanced binary search tree ordered by
+tour position. This yields O(log n) expected time for:
+
+* ``link(u, v)`` — join two trees with a new tree edge,
+* ``cut(u, v)`` — remove a tree edge, splitting the tour,
+* ``connected(u, v)`` — compare treap roots,
+* ``component_size(v)`` — count of vertices in ``v``'s tree.
+
+Tour representation
+-------------------
+The tour contains one *loop node* per vertex (``(v, v)``) and two *arc
+nodes* per tree edge (``(u, v)`` and ``(v, u)``). A single-vertex tree is
+the one-element tour ``[(v, v)]``.
+
+HDT adornments
+--------------
+The Holm–de Lichtenberg–Thorup connectivity structure
+(:mod:`repro.connectivity.hdt`) needs two searchable boolean marks,
+aggregated over subtrees:
+
+* ``self_nontree`` on loop nodes — vertex has level-``i`` non-tree edges;
+* ``self_tree`` on canonical arc nodes — the tree edge has level exactly
+  ``i`` (marked on the ``(min, max)`` arc only, so each edge counts once).
+
+:meth:`EulerTourForest.find_marked_vertex` and
+:meth:`EulerTourForest.find_marked_edge` locate a marked node in
+O(log n) by descending the aggregate bits.
+
+The treap uses parent pointers with split-by-node (walk-up) and
+priority-based merge, so no positional keys are stored.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.streams.events import Vertex
+
+__all__ = ["EulerTourForest", "TourNode"]
+
+
+class TourNode:
+    """One element of an Euler tour: a vertex loop or a directed arc."""
+
+    __slots__ = (
+        "u",
+        "v",
+        "priority",
+        "left",
+        "right",
+        "parent",
+        "size",
+        "loops",
+        "self_nontree",
+        "self_tree",
+        "sub_nontree",
+        "sub_tree",
+    )
+
+    def __init__(self, u: Vertex, v: Vertex, priority: int) -> None:
+        self.u = u
+        self.v = v
+        self.priority = priority
+        self.left: Optional[TourNode] = None
+        self.right: Optional[TourNode] = None
+        self.parent: Optional[TourNode] = None
+        self.size = 1
+        self.loops = 1 if u == v else 0
+        self.self_nontree = False
+        self.self_tree = False
+        self.sub_nontree = False
+        self.sub_tree = False
+
+    @property
+    def is_loop(self) -> bool:
+        """True for vertex loop nodes ``(v, v)``."""
+        return self.u == self.v
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "loop" if self.is_loop else "arc"
+        return f"TourNode({kind} {self.u!r}->{self.v!r})"
+
+
+def _update(node: TourNode) -> None:
+    """Recompute ``node``'s aggregates from itself and its children."""
+    size = 1
+    loops = 1 if node.is_loop else 0
+    nontree = node.self_nontree
+    tree = node.self_tree
+    left, right = node.left, node.right
+    if left is not None:
+        size += left.size
+        loops += left.loops
+        nontree = nontree or left.sub_nontree
+        tree = tree or left.sub_tree
+    if right is not None:
+        size += right.size
+        loops += right.loops
+        nontree = nontree or right.sub_nontree
+        tree = tree or right.sub_tree
+    node.size = size
+    node.loops = loops
+    node.sub_nontree = nontree
+    node.sub_tree = tree
+
+
+def _merge(a: Optional[TourNode], b: Optional[TourNode]) -> Optional[TourNode]:
+    """Concatenate tours ``a`` and ``b`` (both treap roots); returns root."""
+    if a is None:
+        if b is not None:
+            b.parent = None
+        return b
+    if b is None:
+        a.parent = None
+        return a
+    if a.priority > b.priority:
+        child = _merge(a.right, b)
+        a.right = child
+        if child is not None:
+            child.parent = a
+        _update(a)
+        a.parent = None
+        return a
+    child = _merge(a, b.left)
+    b.left = child
+    if child is not None:
+        child.parent = b
+    _update(b)
+    b.parent = None
+    return b
+
+
+def _split_after(x: TourNode) -> Tuple[TourNode, Optional[TourNode]]:
+    """Split the tour containing ``x`` into (prefix..x], (x..suffix)."""
+    right = x.right
+    if right is not None:
+        right.parent = None
+        x.right = None
+        _update(x)
+    left: Optional[TourNode] = x
+    node: TourNode = x
+    parent = x.parent
+    x.parent = None
+    while parent is not None:
+        grand = parent.parent
+        parent.parent = None
+        if parent.left is node:
+            parent.left = None
+            _update(parent)
+            right = _merge(right, parent)
+        else:
+            parent.right = None
+            _update(parent)
+            left = _merge(parent, left)
+        node = parent
+        parent = grand
+    assert left is not None
+    return left, right
+
+
+def _split_before(x: TourNode) -> Tuple[Optional[TourNode], TourNode]:
+    """Split the tour containing ``x`` into (prefix), [x..suffix)."""
+    left = x.left
+    if left is not None:
+        left.parent = None
+        x.left = None
+        _update(x)
+    right: Optional[TourNode] = x
+    node: TourNode = x
+    parent = x.parent
+    x.parent = None
+    while parent is not None:
+        grand = parent.parent
+        parent.parent = None
+        if parent.left is node:
+            parent.left = None
+            _update(parent)
+            right = _merge(right, parent)
+        else:
+            parent.right = None
+            _update(parent)
+            left = _merge(parent, left)
+        node = parent
+        parent = grand
+    assert right is not None
+    return left, right
+
+
+def _root(node: TourNode) -> TourNode:
+    """Treap root of the tour containing ``node``."""
+    while node.parent is not None:
+        node = node.parent
+    return node
+
+
+def _position(node: TourNode) -> int:
+    """0-based position of ``node`` within its tour (O(log n))."""
+    pos = node.left.size if node.left is not None else 0
+    current = node
+    parent = node.parent
+    while parent is not None:
+        if parent.right is current:
+            pos += 1 + (parent.left.size if parent.left is not None else 0)
+        current = parent
+        parent = parent.parent
+    return pos
+
+
+class EulerTourForest:
+    """A forest of Euler-tour trees with HDT mark aggregation.
+
+    Vertices are created lazily by :meth:`add_vertex` /
+    :meth:`ensure_vertex`. All operations are O(log n) expected.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._loops: Dict[Vertex, TourNode] = {}
+        # One entry per directed arc of a tree edge.
+        self._arcs: Dict[Tuple[Vertex, Vertex], TourNode] = {}
+
+    # ------------------------------------------------------------------
+    # Vertex management
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._loops
+
+    def add_vertex(self, v: Vertex) -> bool:
+        """Create ``v`` as a singleton tour; False if already present."""
+        if v in self._loops:
+            return False
+        self._loops[v] = self._new_node(v, v)
+        return True
+
+    def ensure_vertex(self, v: Vertex) -> None:
+        """Create ``v`` if absent."""
+        self.add_vertex(v)
+
+    def remove_isolated_vertex(self, v: Vertex) -> bool:
+        """Drop ``v`` if its tour is the singleton loop; False otherwise."""
+        node = self._loops.get(v)
+        if node is None:
+            return False
+        if node.parent is not None or node.left is not None or node.right is not None:
+            return False
+        del self._loops[v]
+        return True
+
+    def _new_node(self, u: Vertex, v: Vertex) -> TourNode:
+        return TourNode(u, v, self._rng.getrandbits(62))
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices present in this forest."""
+        return len(self._loops)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate vertices present in this forest."""
+        return iter(self._loops)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def connected(self, u: Vertex, v: Vertex) -> bool:
+        """True if ``u`` and ``v`` are in the same tree.
+
+        Unknown vertices are singletons: equal vertices are connected,
+        distinct ones are not.
+        """
+        if u == v:
+            return True
+        nu = self._loops.get(u)
+        nv = self._loops.get(v)
+        if nu is None or nv is None:
+            return False
+        return _root(nu) is _root(nv)
+
+    def has_tree_edge(self, u: Vertex, v: Vertex) -> bool:
+        """True if ``{u, v}`` is a tree edge of this forest."""
+        return (u, v) in self._arcs
+
+    def component_size(self, v: Vertex) -> int:
+        """Number of vertices in ``v``'s tree (1 for unknown vertices)."""
+        node = self._loops.get(v)
+        if node is None:
+            return 1
+        return _root(node).loops
+
+    def component_id(self, v: Vertex) -> int:
+        """Opaque component identifier, valid until the next update."""
+        node = self._loops.get(v)
+        if node is None:
+            return id(v)
+        return id(_root(node))
+
+    def component_members(self, v: Vertex) -> Set[Vertex]:
+        """Vertex set of ``v``'s tree (O(size of tree))."""
+        node = self._loops.get(v)
+        if node is None:
+            return {v}
+        return {n.u for n in self._iter_subtree(_root(node)) if n.is_loop}
+
+    def iter_component_vertices(self, v: Vertex) -> Iterator[Vertex]:
+        """Iterate vertices of ``v``'s tree in tour order."""
+        node = self._loops.get(v)
+        if node is None:
+            yield v
+            return
+        for n in self._iter_subtree(_root(node)):
+            if n.is_loop:
+                yield n.u
+
+    def tour(self, v: Vertex) -> List[Tuple[Vertex, Vertex]]:
+        """The full Euler tour of ``v``'s tree as (u, v) pairs (tests)."""
+        node = self._loops.get(v)
+        if node is None:
+            return [(v, v)]
+        return [(n.u, n.v) for n in self._iter_subtree(_root(node))]
+
+    @staticmethod
+    def _iter_subtree(root: TourNode) -> Iterator[TourNode]:
+        """In-order traversal (iterative, no recursion limit issues)."""
+        stack: List[TourNode] = []
+        node: Optional[TourNode] = root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node
+            node = node.right
+
+    # ------------------------------------------------------------------
+    # Link / cut
+    # ------------------------------------------------------------------
+    def _reroot(self, v: Vertex) -> TourNode:
+        """Rotate the tour of ``v``'s tree so it starts at ``v``'s loop."""
+        loop = self._loops[v]
+        before, after = _split_before(loop)
+        result = _merge(after, before)
+        assert result is not None
+        return result
+
+    def link(self, u: Vertex, v: Vertex) -> None:
+        """Add tree edge ``{u, v}`` joining two distinct trees.
+
+        Raises ``ValueError`` if the endpoints are already connected
+        (a forest stays a forest).
+        """
+        if u == v:
+            raise ValueError(f"self-loop tree edge ({u!r}, {v!r})")
+        self.ensure_vertex(u)
+        self.ensure_vertex(v)
+        if self.connected(u, v):
+            raise ValueError(f"link({u!r}, {v!r}): already connected")
+        tour_u = self._reroot(u)
+        tour_v = self._reroot(v)
+        arc_uv = self._new_node(u, v)
+        arc_vu = self._new_node(v, u)
+        self._arcs[(u, v)] = arc_uv
+        self._arcs[(v, u)] = arc_vu
+        _merge(_merge(_merge(tour_u, arc_uv), tour_v), arc_vu)
+
+    def cut(self, u: Vertex, v: Vertex) -> None:
+        """Remove tree edge ``{u, v}``, splitting its tree in two.
+
+        Raises ``KeyError`` if ``{u, v}`` is not a tree edge here.
+        """
+        arc_a = self._arcs.pop((u, v))
+        arc_b = self._arcs.pop((v, u))
+        if _position(arc_a) > _position(arc_b):
+            arc_a, arc_b = arc_b, arc_a
+        # Tour: prefix | arc_a | middle | arc_b | suffix. ``middle`` is the
+        # Euler tour of the detached side and is left as its own treap root;
+        # prefix and suffix are re-joined into the remaining side's tour.
+        prefix, _ = _split_before(arc_a)
+        _, _ = _split_after(arc_a)  # drops arc_a ([arc_a] alone on the left)
+        _, _ = _split_before(arc_b)  # left part is ``middle``, now a root
+        _, suffix = _split_after(arc_b)  # drops arc_b
+        _merge(prefix, suffix)
+
+    # ------------------------------------------------------------------
+    # HDT marks
+    # ------------------------------------------------------------------
+    def set_vertex_mark(self, v: Vertex, value: bool) -> None:
+        """Set the 'has non-tree edges' mark on ``v``'s loop node."""
+        node = self._loops[v]
+        if node.self_nontree == value:
+            return
+        node.self_nontree = value
+        self._pull_up(node)
+
+    def set_edge_mark(self, u: Vertex, v: Vertex, value: bool) -> None:
+        """Set the 'tree edge at this level' mark on arc ``(u, v)``.
+
+        Callers mark exactly one canonical arc per edge so that searches
+        enumerate each edge once.
+        """
+        node = self._arcs[(u, v)]
+        if node.self_tree == value:
+            return
+        node.self_tree = value
+        self._pull_up(node)
+
+    @staticmethod
+    def _pull_up(node: TourNode) -> None:
+        current: Optional[TourNode] = node
+        while current is not None:
+            _update(current)
+            current = current.parent
+
+    def find_marked_vertex(self, v: Vertex) -> Optional[Vertex]:
+        """A vertex in ``v``'s tree whose loop node is marked, or None."""
+        loop = self._loops.get(v)
+        if loop is None:
+            return None
+        node = _root(loop)
+        if not node.sub_nontree:
+            return None
+        while True:
+            if node.self_nontree:
+                return node.u
+            if node.left is not None and node.left.sub_nontree:
+                node = node.left
+            elif node.right is not None and node.right.sub_nontree:
+                node = node.right
+            else:  # pragma: no cover - aggregate invariant violated
+                raise AssertionError("sub_nontree set but no marked node found")
+
+    def find_marked_edge(self, v: Vertex) -> Optional[Tuple[Vertex, Vertex]]:
+        """A marked tree arc in ``v``'s tree, or None."""
+        loop = self._loops.get(v)
+        if loop is None:
+            return None
+        node = _root(loop)
+        if not node.sub_tree:
+            return None
+        while True:
+            if node.self_tree:
+                return (node.u, node.v)
+            if node.left is not None and node.left.sub_tree:
+                node = node.left
+            elif node.right is not None and node.right.sub_tree:
+                node = node.right
+            else:  # pragma: no cover - aggregate invariant violated
+                raise AssertionError("sub_tree set but no marked node found")

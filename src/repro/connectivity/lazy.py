@@ -1,0 +1,133 @@
+"""Lazy-rebuild connectivity: O(α) updates, rebuild deferred to queries.
+
+Insertions are applied to a cached union-find when it is clean (exact
+and nearly free). A deletion cannot be expressed in a union-find, so it
+only marks the cache dirty; the next *query* rebuilds from the live
+edge set in O(edges α). Mutations never trigger a rebuild.
+
+This is the right backend when queries are sparse relative to
+deletions — e.g. an unconstrained clusterer ingesting a firehose and
+snapshotting once a minute: ingestion runs at set/union-find speed and
+the rebuild cost is paid per query burst, not per deletion. Query
+answers are exactly equal to the other backends' at every query point
+(cross-checked by tests); two contract relaxations buy the speed:
+
+* ``insert_edge`` / ``delete_edge`` return **conservative** merge/split
+  indications while the cache is dirty (``True`` = "may have
+  merged/split"), so a clusterer's merge/split counters are upper
+  bounds under this backend;
+* constraint policies that query connectivity on every proposed merge
+  force a rebuild per eviction — use HDT or naive with constraints
+  (benchmark E9c quantifies both regimes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set
+
+from repro.connectivity.base import DynamicConnectivity
+from repro.connectivity.union_find import UnionFind
+from repro.streams.events import Edge, Vertex, canonical_edge
+
+__all__ = ["LazyRebuildConnectivity"]
+
+
+class LazyRebuildConnectivity(DynamicConnectivity):
+    """Union-find over the live edge set, rebuilt lazily after deletions."""
+
+    def __init__(self) -> None:
+        self._edges: Set[Edge] = set()
+        self._vertices: Set[Vertex] = set()
+        self._union: Optional[UnionFind] = None  # None = dirty
+        self.rebuilds = 0  # exposed for the cost-model benchmarks
+
+    def _fresh(self) -> UnionFind:
+        """The union-find cache, rebuilding it if dirty."""
+        if self._union is None:
+            union = UnionFind(self._vertices)
+            for u, v in self._edges:
+                union.union(u, v)
+            self._union = union
+            self.rebuilds += 1
+        return self._union
+
+    # ------------------------------------------------------------------
+    # Mutation — never rebuilds
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> bool:
+        if v in self._vertices:
+            return False
+        self._vertices.add(v)
+        if self._union is not None:
+            self._union.add(v)
+        return True
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> bool:
+        edge = canonical_edge(u, v)
+        if edge in self._edges:
+            raise ValueError(f"edge ({u!r}, {v!r}) already present")
+        self.add_vertex(edge[0])
+        self.add_vertex(edge[1])
+        self._edges.add(edge)
+        if self._union is not None:
+            return self._union.union(u, v)  # exact while clean
+        return True  # dirty: conservative "may have merged"
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> bool:
+        edge = canonical_edge(u, v)
+        if edge not in self._edges:
+            raise KeyError(f"edge ({u!r}, {v!r}) not present")
+        self._edges.discard(edge)
+        self._union = None
+        return True  # conservative "may have split"
+
+    def remove_vertex_if_isolated(self, v: Vertex) -> bool:
+        if v not in self._vertices:
+            return False
+        for a, b in self._edges:
+            if a == v or b == v:
+                return False
+        self._vertices.discard(v)
+        self._union = None
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries — exact (rebuild if dirty)
+    # ------------------------------------------------------------------
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        if u == v:
+            return False
+        return canonical_edge(u, v) in self._edges
+
+    def connected(self, u: Vertex, v: Vertex) -> bool:
+        if u == v:
+            return True
+        if u not in self._vertices or v not in self._vertices:
+            return False
+        return self._fresh().connected(u, v)
+
+    def component_size(self, v: Vertex) -> int:
+        if v not in self._vertices:
+            return 1
+        return self._fresh().set_size(v)
+
+    def component_members(self, v: Vertex) -> Set[Vertex]:
+        if v not in self._vertices:
+            return {v}
+        union = self._fresh()
+        root = union.find(v)
+        return {w for w in self._vertices if union.find(w) == root}
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_components(self) -> int:
+        return self._fresh().num_sets
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def components(self) -> List[Set[Vertex]]:
+        return self._fresh().groups()

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: clustering by graph reservoir sampling.
+
+Public entry points:
+
+* :class:`StreamingGraphClusterer` — online clusterer over a stream of
+  vertex/edge additions and deletions.
+* :class:`ClustererConfig` / :class:`DeletionPolicy` — configuration.
+* :mod:`repro.core.constraints` — cluster-shape admission policies.
+* :class:`ShardedClusterer` / :func:`cluster_stream_parallel` — the
+  parallelization story.
+* :class:`SlidingWindowClusterer` — recency-windowed deployment mode.
+"""
+
+from repro.core.clusterer import ClustererStats, StreamingGraphClusterer
+from repro.core.config import ClustererConfig, DeletionPolicy
+from repro.core.constraints import (
+    CompositeConstraint,
+    ConstraintPolicy,
+    MaxClusterSize,
+    MinClusterCount,
+    Unconstrained,
+)
+from repro.core.sharded import ShardedClusterer, ShardResult, cluster_stream_parallel
+from repro.core.tracking import (
+    ClusterEvent,
+    ClusterEventKind,
+    ClusterTracker,
+    TrackingReport,
+)
+from repro.core.hierarchy import MultiResolutionClusterer
+from repro.core.timewindow import TimeWindowClusterer
+from repro.core.weighted import WeightedStreamingClusterer
+from repro.core.window import SlidingWindowClusterer
+
+__all__ = [
+    "ClusterEvent",
+    "ClusterEventKind",
+    "ClusterTracker",
+    "ClustererConfig",
+    "ClustererStats",
+    "CompositeConstraint",
+    "ConstraintPolicy",
+    "DeletionPolicy",
+    "MaxClusterSize",
+    "MinClusterCount",
+    "MultiResolutionClusterer",
+    "ShardResult",
+    "TrackingReport",
+    "ShardedClusterer",
+    "SlidingWindowClusterer",
+    "TimeWindowClusterer",
+    "StreamingGraphClusterer",
+    "Unconstrained",
+    "WeightedStreamingClusterer",
+    "cluster_stream_parallel",
+]

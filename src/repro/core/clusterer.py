@@ -1,0 +1,296 @@
+"""The streaming graph clusterer — the paper's primary contribution.
+
+:class:`StreamingGraphClusterer` consumes a stream of vertex/edge
+additions and deletions and maintains, at all times, a clustering of the
+current graph defined as the **connected components of a reservoir
+sample of the edges**:
+
+1. A :class:`~repro.sampling.random_pairing.RandomPairingReservoir`
+   keeps a bounded uniform sample of the live edge set under additions
+   and deletions.
+2. Admissions that would merge components may be vetoed by a
+   :class:`~repro.core.constraints.ConstraintPolicy` (bounding cluster
+   sizes or the number of clusters — the paper's "desired properties").
+3. A fully-dynamic connectivity structure
+   (:class:`~repro.connectivity.hdt.HDTConnectivity` by default) keeps
+   the components of the sampled sub-graph current as sampled edges come
+   and go.
+
+Every update is processed online and incrementally in amortized
+poly-logarithmic time; no pass over the full graph is ever required
+(unless the optional RESAMPLE deletion policy is selected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.connectivity import make_connectivity
+from repro.core.config import ClustererConfig, DeletionPolicy
+from repro.errors import StreamError, UnsupportedOperationError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.quality.partition import Partition
+from repro.sampling.random_pairing import RandomPairingReservoir
+from repro.streams.events import (
+    Edge,
+    EdgeEvent,
+    EventKind,
+    Vertex,
+    canonical_edge,
+)
+from repro.util.rng import child_seed, make_rng
+
+__all__ = ["ClustererStats", "StreamingGraphClusterer"]
+
+
+@dataclass
+class ClustererStats:
+    """Counters describing the work a clusterer has performed."""
+
+    events: int = 0
+    edge_adds: int = 0
+    edge_deletes: int = 0
+    vertex_adds: int = 0
+    vertex_deletes: int = 0
+    admissions: int = 0
+    vetoes: int = 0
+    evictions: int = 0
+    sample_deletions: int = 0
+    component_merges: int = 0
+    component_splits: int = 0
+    malformed_events: int = 0
+    resamples: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for logging / result records)."""
+        return dict(self.__dict__)
+
+
+class StreamingGraphClusterer:
+    """Online, incremental clustering by graph reservoir sampling.
+
+    >>> from repro.core.config import ClustererConfig
+    >>> from repro.streams.events import add_edge
+    >>> clusterer = StreamingGraphClusterer(ClustererConfig(reservoir_capacity=100))
+    >>> for u, v in [(1, 2), (2, 3), (7, 8)]:
+    ...     clusterer.apply(add_edge(u, v))
+    >>> clusterer.same_cluster(1, 3)
+    True
+    >>> clusterer.same_cluster(1, 7)
+    False
+    """
+
+    def __init__(self, config: ClustererConfig) -> None:
+        self.config = config
+        self.stats = ClustererStats()
+        self._reservoir: RandomPairingReservoir[Edge] = RandomPairingReservoir(
+            config.reservoir_capacity, seed=child_seed(config.seed, "reservoir")
+        )
+        self._conn = make_connectivity(
+            config.connectivity_backend, seed=child_seed(config.seed, "connectivity")
+        )
+        self._graph: Optional[AdjacencyGraph] = (
+            AdjacencyGraph() if config.track_graph else None
+        )
+        self._rebuild_rng = make_rng(child_seed(config.seed, "rebuild"))
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def apply(self, event: EdgeEvent) -> None:
+        """Process one stream event."""
+        self.stats.events += 1
+        kind = event.kind
+        if kind is EventKind.ADD_EDGE:
+            self._on_add_edge(event.u, event.v)
+        elif kind is EventKind.DELETE_EDGE:
+            self._on_delete_edge(event.u, event.v)
+        elif kind is EventKind.ADD_VERTEX:
+            self._on_add_vertex(event.u)
+        elif kind is EventKind.DELETE_VERTEX:
+            self._on_delete_vertex(event.u)
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(f"unknown event kind {kind!r}")
+
+    def process(self, events: Iterable[EdgeEvent]) -> "StreamingGraphClusterer":
+        """Process a whole stream; returns self for chaining."""
+        for event in events:
+            self.apply(event)
+        return self
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_add_edge(self, u: Vertex, v: Vertex) -> None:
+        self.stats.edge_adds += 1
+        if self._graph is not None:
+            if not self._graph.add_edge(u, v):
+                self._malformed(f"duplicate ADD_EDGE ({u!r}, {v!r})")
+                return
+        self._conn.add_vertex(u)
+        self._conn.add_vertex(v)
+        edge = canonical_edge(u, v)
+        proposal = self._reservoir.propose_insert(edge)
+        if not proposal.admit:
+            return
+        if not self.config.constraint.allows(self._conn, u, v):
+            self._reservoir.abort(proposal)
+            self.stats.vetoes += 1
+            return
+        self._reservoir.commit(proposal)
+        self.stats.admissions += 1
+        if proposal.evicted is not None:
+            self.stats.evictions += 1
+            if self._conn.delete_edge(*proposal.evicted):
+                self.stats.component_splits += 1
+        if self._conn.insert_edge(u, v):
+            self.stats.component_merges += 1
+
+    def _on_delete_edge(self, u: Vertex, v: Vertex) -> None:
+        self.stats.edge_deletes += 1
+        if self._graph is not None:
+            if not self._graph.remove_edge(u, v):
+                self._malformed(f"DELETE_EDGE of absent edge ({u!r}, {v!r})")
+                return
+        edge = canonical_edge(u, v)
+        if self._reservoir.delete(edge):
+            self.stats.sample_deletions += 1
+            if self._conn.delete_edge(u, v):
+                self.stats.component_splits += 1
+        self._maybe_resample()
+
+    def _on_add_vertex(self, v: Vertex) -> None:
+        self.stats.vertex_adds += 1
+        if self._graph is not None:
+            self._graph.add_vertex(v)
+        self._conn.add_vertex(v)
+
+    def _on_delete_vertex(self, v: Vertex) -> None:
+        self.stats.vertex_deletes += 1
+        if self._graph is None:
+            raise UnsupportedOperationError(
+                "DELETE_VERTEX requires track_graph=True: a pure edge "
+                "reservoir cannot enumerate the incident edges to remove"
+            )
+        if not self._graph.has_vertex(v):
+            self._malformed(f"DELETE_VERTEX of absent vertex {v!r}")
+            return
+        for edge in self._graph.remove_vertex(v):
+            if self._reservoir.delete(edge):
+                self.stats.sample_deletions += 1
+                if self._conn.delete_edge(*edge):
+                    self.stats.component_splits += 1
+        self._conn.remove_vertex_if_isolated(v)
+        self._maybe_resample()
+
+    def _malformed(self, message: str) -> None:
+        if self.config.strict:
+            raise StreamError(message)
+        self.stats.malformed_events += 1
+
+    # ------------------------------------------------------------------
+    # Resample policy (ablation comparator)
+    # ------------------------------------------------------------------
+    def _maybe_resample(self) -> None:
+        if self.config.deletion_policy is not DeletionPolicy.RESAMPLE:
+            return
+        assert self._graph is not None  # enforced by ClustererConfig
+        capacity = self.config.reservoir_capacity
+        target = min(capacity, self._graph.num_edges)
+        if len(self._reservoir) >= self.config.resample_threshold * target:
+            return
+        self._rebuild_sample()
+
+    def _rebuild_sample(self) -> None:
+        """Rebuild reservoir + connectivity from the tracked graph (O(m))."""
+        assert self._graph is not None
+        self.stats.resamples += 1
+        self._reservoir = RandomPairingReservoir(
+            self.config.reservoir_capacity,
+            seed=child_seed(self.config.seed, "reservoir", self.stats.resamples),
+        )
+        self._conn = make_connectivity(
+            self.config.connectivity_backend,
+            seed=child_seed(self.config.seed, "connectivity", self.stats.resamples),
+        )
+        for vertex in self._graph.vertices():
+            self._conn.add_vertex(vertex)
+        edges = self._graph.edge_list()
+        self._rebuild_rng.shuffle(edges)
+        for edge in edges:
+            proposal = self._reservoir.propose_insert(edge)
+            if not proposal.admit:
+                continue
+            if not self.config.constraint.allows(self._conn, *edge):
+                self._reservoir.abort(proposal)
+                self.stats.vetoes += 1
+                continue
+            self._reservoir.commit(proposal)
+            if proposal.evicted is not None:
+                self._conn.delete_edge(*proposal.evicted)
+            self._conn.insert_edge(*edge)
+
+    # ------------------------------------------------------------------
+    # Clustering queries
+    # ------------------------------------------------------------------
+    def cluster_id(self, v: Vertex) -> object:
+        """Opaque id of ``v``'s cluster, valid until the next update."""
+        members = getattr(self._conn, "component_id", None)
+        if members is not None:
+            return members(v)
+        return frozenset(self._conn.component_members(v))
+
+    def cluster_members(self, v: Vertex) -> FrozenSet[Vertex]:
+        """All vertices clustered with ``v`` (including ``v``)."""
+        return frozenset(self._conn.component_members(v))
+
+    def cluster_size(self, v: Vertex) -> int:
+        """Size of ``v``'s cluster (1 for unseen vertices)."""
+        return self._conn.component_size(v)
+
+    def same_cluster(self, u: Vertex, v: Vertex) -> bool:
+        """True if ``u`` and ``v`` are currently in the same cluster."""
+        return self._conn.connected(u, v)
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters (components of the sampled sub-graph)."""
+        return self._conn.num_components
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices the clusterer has seen and not deleted."""
+        return self._conn.num_vertices
+
+    def snapshot(self) -> Partition:
+        """The current clustering as an immutable :class:`Partition`."""
+        return Partition.from_clusters(self._conn.components())
+
+    def vertices(self) -> Iterable[Vertex]:
+        """Iterate over all vertices the clusterer currently knows."""
+        return self._conn.vertices()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def reservoir_size(self) -> int:
+        """Number of edges currently sampled."""
+        return len(self._reservoir)
+
+    def reservoir_edges(self) -> List[Edge]:
+        """The sampled edges (copy)."""
+        return self._reservoir.items()
+
+    @property
+    def graph(self) -> Optional[AdjacencyGraph]:
+        """The tracked full graph, or None in the lean memory mode."""
+        return self._graph
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingGraphClusterer(vertices={self.num_vertices}, "
+            f"clusters={self.num_clusters}, reservoir={self.reservoir_size}/"
+            f"{self.config.reservoir_capacity})"
+        )

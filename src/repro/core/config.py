@@ -1,0 +1,100 @@
+"""Configuration for the streaming graph clusterer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.constraints import ConstraintPolicy, Unconstrained
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["DeletionPolicy", "ClustererConfig"]
+
+
+class DeletionPolicy(enum.Enum):
+    """How the reservoir compensates for edge deletions.
+
+    * ``RANDOM_PAIRING`` — the paper-faithful default: deletions are
+      paired with later insertions (uniform sample, no access to the full
+      edge set required).
+    * ``RESAMPLE`` — when the sample shrinks below
+      ``resample_threshold × capacity``, rebuild it by drawing uniformly
+      from the *tracked* full edge set (requires ``track_graph=True``).
+      Restores sample size immediately at an O(m) cost — the ablation
+      comparator in experiment E9.
+    """
+
+    RANDOM_PAIRING = "random_pairing"
+    RESAMPLE = "resample"
+
+
+@dataclass
+class ClustererConfig:
+    """All knobs of :class:`repro.core.clusterer.StreamingGraphClusterer`.
+
+    Parameters
+    ----------
+    reservoir_capacity:
+        Number of edges the reservoir may hold — the memory budget.
+        The paper's headline knob: larger reservoirs give finer-grained,
+        higher-quality clusterings at slightly lower throughput.
+    constraint:
+        Admission policy enforcing cluster-shape properties
+        (:mod:`repro.core.constraints`).
+    connectivity_backend:
+        ``"hdt"`` (default, poly-log worst-case updates), ``"naive"``
+        (BFS; best constants for small bounded clusters), or ``"lazy"``
+        (union-find rebuilt at query time; fastest for query-sparse
+        unconstrained ingestion — merge/split *statistics* become
+        conservative upper bounds under it).
+    track_graph:
+        Keep the full graph in memory. Required for vertex deletions,
+        duplicate detection under ``strict``, the RESAMPLE policy, and
+        quality metrics against the live graph. Disable for the lean,
+        reservoir-only memory mode.
+    strict:
+        Raise on malformed streams (duplicate edge adds, deletes of
+        absent edges). When False such events are counted and ignored.
+        Requires ``track_graph`` to be detectable; without tracking,
+        malformed edge events raise ``ValueError`` at configuration time
+        only if ``strict`` is set.
+    deletion_policy / resample_threshold:
+        See :class:`DeletionPolicy`.
+    seed:
+        Master seed; all internal randomness derives from it.
+    """
+
+    reservoir_capacity: int
+    constraint: ConstraintPolicy = field(default_factory=Unconstrained)
+    connectivity_backend: str = "hdt"
+    track_graph: bool = True
+    strict: bool = True
+    deletion_policy: DeletionPolicy = DeletionPolicy.RANDOM_PAIRING
+    resample_threshold: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("reservoir_capacity", self.reservoir_capacity)
+        check_probability("resample_threshold", self.resample_threshold)
+        if self.connectivity_backend not in ("hdt", "naive", "lazy"):
+            raise ValueError(
+                "connectivity_backend must be 'hdt', 'naive', or 'lazy', "
+                f"got {self.connectivity_backend!r}"
+            )
+        if not isinstance(self.constraint, ConstraintPolicy):
+            raise TypeError(
+                "constraint must be a ConstraintPolicy instance, "
+                f"got {type(self.constraint).__name__}"
+            )
+        if not isinstance(self.deletion_policy, DeletionPolicy):
+            raise TypeError(
+                "deletion_policy must be a DeletionPolicy, "
+                f"got {type(self.deletion_policy).__name__}"
+            )
+        if self.deletion_policy is DeletionPolicy.RESAMPLE and not self.track_graph:
+            raise ValueError("DeletionPolicy.RESAMPLE requires track_graph=True")
+        if self.strict and not self.track_graph:
+            raise ValueError(
+                "strict stream validation requires track_graph=True; "
+                "set strict=False for the lean memory mode"
+            )

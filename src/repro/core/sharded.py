@@ -1,0 +1,280 @@
+"""Sharded (parallel) graph reservoir sampling.
+
+The paper notes the algorithm "can be easily parallelized": edges are
+hash-partitioned across workers, every worker maintains an independent
+edge reservoir over its shard of the stream, and the declared clusters
+are the connected components of the **union** of the sampled sub-graphs.
+Workers never coordinate during stream processing — only the (cheap)
+component merge at query time touches cross-shard state, so throughput
+scales with the number of workers.
+
+Two drivers are provided:
+
+* :class:`ShardedClusterer` — in-process sharding. Routes each event to
+  its shard and keeps per-shard event counts, from which the *shard
+  balance* (the quantity that bounds real-machine speedup) is computed.
+* :func:`cluster_stream_parallel` — a multiprocessing driver that
+  partitions a finite stream, processes shards in separate processes,
+  and merges the returned samples. Suitable for batch experiments; the
+  in-process class is the online API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.connectivity.union_find import UnionFind
+from repro.core.clusterer import StreamingGraphClusterer
+from repro.core.config import ClustererConfig
+from repro.quality.partition import Partition
+from repro.streams.events import Edge, EdgeEvent, EventKind, Vertex
+from repro.util.rng import child_seed
+from repro.util.validation import check_positive
+
+__all__ = ["ShardedClusterer", "ShardResult", "cluster_stream_parallel"]
+
+
+def _shard_of(edge: Edge, num_shards: int) -> int:
+    """Deterministic shard routing for an edge.
+
+    Integer endpoints (the common case) use an explicit mixing function
+    so routing is stable across processes and runs regardless of
+    ``PYTHONHASHSEED``; other vertex types fall back to ``hash``.
+    """
+    u, v = edge
+    if isinstance(u, int) and isinstance(v, int):
+        # splitmix64-style finalizer: low bits must be well mixed, since
+        # structured ids (e.g. community = id mod k) otherwise correlate
+        # with the shard index and wreck the balance.
+        x = (u * 0x9E3779B97F4A7C15 + v * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        return (x ^ (x >> 31)) % num_shards
+    return hash(edge) % num_shards
+
+
+def _shard_config(config: ClustererConfig, shard: int, num_shards: int) -> ClustererConfig:
+    """Per-shard configuration: split the memory budget, derive the seed."""
+    capacity = max(1, config.reservoir_capacity // num_shards)
+    return ClustererConfig(
+        reservoir_capacity=capacity,
+        constraint=config.constraint,
+        connectivity_backend=config.connectivity_backend,
+        track_graph=config.track_graph,
+        strict=config.strict,
+        deletion_policy=config.deletion_policy,
+        resample_threshold=config.resample_threshold,
+        seed=child_seed(config.seed, "shard", shard),
+    )
+
+
+class _UnionFindConstraintView:
+    """Just enough of the DynamicConnectivity interface for constraint
+    policies to evaluate merge-time admissions over a union-find."""
+
+    def __init__(self, union: UnionFind) -> None:
+        self._union = union
+
+    def connected(self, u: Vertex, v: Vertex) -> bool:
+        return self._union.connected(u, v)
+
+    def component_size(self, v: Vertex) -> int:
+        return self._union.set_size(v)
+
+    @property
+    def num_components(self) -> int:
+        return self._union.num_sets
+
+
+class ShardedClusterer:
+    """Hash-partitioned ensemble of streaming clusterers.
+
+    The declared clustering is the component structure of the union of
+    all shards' sampled sub-graphs; it is computed lazily and cached
+    until the next update.
+    """
+
+    def __init__(self, config: ClustererConfig, num_shards: int) -> None:
+        check_positive("num_shards", num_shards)
+        self.config = config
+        self.num_shards = num_shards
+        self.shards: List[StreamingGraphClusterer] = [
+            StreamingGraphClusterer(_shard_config(config, i, num_shards))
+            for i in range(num_shards)
+        ]
+        self.shard_events: List[int] = [0] * num_shards
+        self._merged: Optional[Partition] = None
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def apply(self, event: EdgeEvent) -> None:
+        """Route one event to its shard (vertex events go everywhere)."""
+        self._merged = None
+        if event.is_edge_event:
+            shard = _shard_of(event.edge, self.num_shards)
+            self.shard_events[shard] += 1
+            self.shards[shard].apply(event)
+            return
+        # Vertex events are broadcast: any shard may hold incident edges,
+        # and all shards must know the vertex exists for their snapshots.
+        for shard, clusterer in enumerate(self.shards):
+            self.shard_events[shard] += 1
+            if event.kind is EventKind.DELETE_VERTEX and clusterer.config.strict:
+                # A vertex can be unknown to some shards; tolerate that.
+                if clusterer.graph is not None and not clusterer.graph.has_vertex(
+                    event.u
+                ):
+                    continue
+            clusterer.apply(event)
+
+    def process(self, events: Iterable[EdgeEvent]) -> "ShardedClusterer":
+        """Process a whole stream; returns self for chaining."""
+        for event in events:
+            self.apply(event)
+        return self
+
+    # ------------------------------------------------------------------
+    # Merged clustering
+    # ------------------------------------------------------------------
+    def _merge(self) -> Partition:
+        if self._merged is not None:
+            return self._merged
+        union = UnionFind()
+        view = _UnionFindConstraintView(union)
+        constraint = self.config.constraint
+        for clusterer in self.shards:
+            for vertex in clusterer.vertices():
+                union.add(vertex)
+        # The admission constraint is re-enforced at merge time: each
+        # shard bounded only its *local* sample, and the union of
+        # innocent shard-local clusters can violate the global bound.
+        for clusterer in self.shards:
+            for u, v in clusterer.reservoir_edges():
+                if constraint.allows(view, u, v):
+                    union.union(u, v)
+        self._merged = Partition.from_clusters(union.groups())
+        return self._merged
+
+    def snapshot(self) -> Partition:
+        """The merged clustering across all shards."""
+        return self._merge()
+
+    def same_cluster(self, u: Vertex, v: Vertex) -> bool:
+        """True if ``u`` and ``v`` are in the same merged cluster."""
+        merged = self._merge()
+        return u in merged and v in merged and merged.same_cluster(u, v)
+
+    def cluster_members(self, v: Vertex) -> FrozenSet[Vertex]:
+        """All vertices merged-clustered with ``v``."""
+        merged = self._merge()
+        if v not in merged:
+            return frozenset({v})
+        return merged.members(merged.label_of(v))
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of merged clusters."""
+        return self._merge().num_clusters
+
+    # ------------------------------------------------------------------
+    # Parallelism accounting
+    # ------------------------------------------------------------------
+    @property
+    def shard_balance(self) -> float:
+        """Total events over max per-shard events — the speedup bound.
+
+        On a machine with ``num_shards`` cores the wall-clock of the
+        stream phase is governed by the busiest shard; this ratio is the
+        resulting speedup over a single worker (1.0 means no benefit,
+        ``num_shards`` means perfect balance).
+        """
+        busiest = max(self.shard_events, default=0)
+        if busiest == 0:
+            return 1.0
+        return sum(self.shard_events) / busiest
+
+    @property
+    def total_reservoir_size(self) -> int:
+        """Sampled edges across all shards."""
+        return sum(clusterer.reservoir_size for clusterer in self.shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedClusterer(num_shards={self.num_shards}, "
+            f"reservoir={self.total_reservoir_size})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Multiprocessing driver
+# ----------------------------------------------------------------------
+@dataclass
+class ShardResult:
+    """What a shard worker returns: its sample and the vertices it saw."""
+
+    shard: int
+    sampled_edges: List[Edge]
+    vertices: List[Vertex]
+    events: int
+
+
+def _process_shard(
+    args: Tuple[int, ClustererConfig, int, Sequence[EdgeEvent]],
+) -> ShardResult:
+    shard, config, num_shards, events = args
+    clusterer = StreamingGraphClusterer(_shard_config(config, shard, num_shards))
+    clusterer.process(events)
+    return ShardResult(
+        shard=shard,
+        sampled_edges=clusterer.reservoir_edges(),
+        vertices=list(clusterer.vertices()),
+        events=len(events),
+    )
+
+
+def cluster_stream_parallel(
+    events: Sequence[EdgeEvent],
+    config: ClustererConfig,
+    num_shards: int,
+    pool_processes: int | None = None,
+) -> Tuple[Partition, List[ShardResult]]:
+    """Cluster a finite stream with one process per shard.
+
+    The stream is hash-partitioned by edge, shards are processed in a
+    ``multiprocessing`` pool (or inline when ``pool_processes`` is 0/1 or
+    ``num_shards == 1``), and the shard samples are merged into the final
+    partition. Only edge events are supported here — broadcast vertex
+    events need the online :class:`ShardedClusterer`.
+    """
+    check_positive("num_shards", num_shards)
+    buckets: List[List[EdgeEvent]] = [[] for _ in range(num_shards)]
+    for event in events:
+        if not event.is_edge_event:
+            raise ValueError(
+                "cluster_stream_parallel supports edge events only; "
+                "use ShardedClusterer for vertex events"
+            )
+        buckets[_shard_of(event.edge, num_shards)].append(event)
+
+    tasks = [(i, config, num_shards, bucket) for i, bucket in enumerate(buckets)]
+    if num_shards == 1 or (pool_processes is not None and pool_processes <= 1):
+        results = [_process_shard(task) for task in tasks]
+    else:
+        import multiprocessing
+
+        processes = pool_processes or min(num_shards, multiprocessing.cpu_count())
+        with multiprocessing.Pool(processes=processes) as pool:
+            results = pool.map(_process_shard, tasks)
+
+    union = UnionFind()
+    view = _UnionFindConstraintView(union)
+    for result in results:
+        for vertex in result.vertices:
+            union.add(vertex)
+    for result in results:
+        for u, v in result.sampled_edges:
+            if config.constraint.allows(view, u, v):
+                union.union(u, v)
+    return Partition.from_clusters(union.groups()), results

@@ -1,0 +1,132 @@
+"""Time-based sliding-window clustering.
+
+:class:`TimeWindowClusterer` keeps the clustering of the edges seen in
+the last ``horizon`` seconds of a timestamped insert-only stream —
+"interactions in the last hour" — expiring edges by timestamp rather
+than by arrival count (:class:`~repro.core.window.SlidingWindowClusterer`
+is the count-based sibling). Multiset semantics match the count-window:
+an edge is live while *any* of its occurrences is inside the horizon.
+
+Expiry is driven by the stream clock (each arrival advances time) plus
+an explicit :meth:`advance_to` for idle periods, so the clustering can
+be decayed even when no events arrive.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, FrozenSet, Iterable, Tuple
+
+from repro.core.clusterer import StreamingGraphClusterer
+from repro.core.config import ClustererConfig
+from repro.errors import UnsupportedOperationError
+from repro.quality.partition import Partition
+from repro.streams.events import Edge, EventKind, Vertex, delete_edge
+from repro.streams.timestamped import TimestampedEvent
+from repro.util.validation import check_positive
+
+__all__ = ["TimeWindowClusterer"]
+
+
+class TimeWindowClusterer:
+    """Cluster the graph induced by the last ``horizon`` seconds."""
+
+    def __init__(self, config: ClustererConfig, horizon: float) -> None:
+        check_positive("horizon", horizon)
+        self.horizon = float(horizon)
+        self._inner = StreamingGraphClusterer(config)
+        self._recent: Deque[Tuple[float, Edge]] = deque()
+        self._multiplicity: Counter = Counter()
+        self._now = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def apply(self, item: TimestampedEvent) -> None:
+        """Process one timestamped event (timestamps must not regress)."""
+        if item.timestamp < self._now:
+            raise ValueError(
+                f"timestamp regressed: {item.timestamp} < {self._now}"
+            )
+        self.advance_to(item.timestamp)
+        event = item.event
+        if event.kind is EventKind.ADD_EDGE:
+            edge = event.edge
+            self._recent.append((item.timestamp, edge))
+            self._multiplicity[edge] += 1
+            if self._multiplicity[edge] == 1:
+                self._inner.apply(event)
+        elif event.kind is EventKind.ADD_VERTEX:
+            self._inner.apply(event)
+        else:
+            raise UnsupportedOperationError(
+                "TimeWindowClusterer consumes insert-only streams; "
+                f"got {event.kind.value}"
+            )
+
+    def process(self, stream: Iterable[TimestampedEvent]) -> "TimeWindowClusterer":
+        """Process a whole timestamped stream; returns self."""
+        for item in stream:
+            self.apply(item)
+        return self
+
+    def advance_to(self, timestamp: float) -> int:
+        """Move the clock forward, expiring stale edges.
+
+        Returns the number of edge *occurrences* expired. Call this from
+        a timer to decay the clustering during quiet periods.
+        """
+        if timestamp < self._now:
+            raise ValueError(f"clock regressed: {timestamp} < {self._now}")
+        self._now = timestamp
+        cutoff = timestamp - self.horizon
+        expired = 0
+        while self._recent and self._recent[0][0] <= cutoff:
+            _, edge = self._recent.popleft()
+            expired += 1
+            self._multiplicity[edge] -= 1
+            if self._multiplicity[edge] == 0:
+                del self._multiplicity[edge]
+                self._inner.apply(delete_edge(*edge))
+        return expired
+
+    # ------------------------------------------------------------------
+    # Delegated queries
+    # ------------------------------------------------------------------
+    @property
+    def inner(self) -> StreamingGraphClusterer:
+        """The underlying streaming clusterer."""
+        return self._inner
+
+    @property
+    def now(self) -> float:
+        """The current stream clock."""
+        return self._now
+
+    @property
+    def num_live_edges(self) -> int:
+        """Distinct edges currently inside the horizon."""
+        return len(self._multiplicity)
+
+    def snapshot(self) -> Partition:
+        """Clustering of the time-windowed graph."""
+        return self._inner.snapshot()
+
+    def same_cluster(self, u: Vertex, v: Vertex) -> bool:
+        """True if ``u`` and ``v`` are currently clustered together."""
+        return self._inner.same_cluster(u, v)
+
+    def cluster_members(self, v: Vertex) -> FrozenSet[Vertex]:
+        """All vertices clustered with ``v``."""
+        return self._inner.cluster_members(v)
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters over the windowed graph."""
+        return self._inner.num_clusters
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeWindowClusterer(horizon={self.horizon}, now={self._now}, "
+            f"live_edges={self.num_live_edges})"
+        )

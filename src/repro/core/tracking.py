@@ -1,0 +1,207 @@
+"""Cluster-evolution tracking across snapshots.
+
+A streaming clusterer's labels are component identifiers that change
+arbitrarily between snapshots even when the clusters themselves barely
+move. Deployments (monitoring, alerting, per-cluster state) need
+*stable* identities and explicit lifecycle events. :class:`ClusterTracker`
+matches consecutive snapshots by vertex overlap and reports, per
+transition:
+
+* ``CONTINUED`` — a cluster carried on (possibly grown/shrunk); keeps
+  its stable id,
+* ``BORN`` / ``DIED`` — a cluster appeared from / dissolved into
+  fragments below the matching threshold,
+* ``SPLIT`` — one tracked cluster's vertices now dominate several new
+  clusters,
+* ``MERGED`` — several tracked clusters' vertices now dominate one new
+  cluster.
+
+Matching rule: new cluster N inherits old cluster O's id iff O
+contributes the plurality of N's members *and* N holds the plurality of
+O's surviving members (mutual-best), with Jaccard ≥ ``threshold``.
+This is the standard community-tracking heuristic (Greene et al. style)
+and is deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.quality.external import ari
+from repro.quality.partition import Partition
+from repro.streams.events import Vertex
+from repro.util.validation import check_probability
+
+__all__ = ["ClusterEventKind", "ClusterEvent", "TrackingReport", "ClusterTracker"]
+
+
+class ClusterEventKind(enum.Enum):
+    """Lifecycle transitions a tracked cluster can undergo."""
+
+    BORN = "born"
+    DIED = "died"
+    CONTINUED = "continued"
+    SPLIT = "split"
+    MERGED = "merged"
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """One lifecycle event between two consecutive snapshots."""
+
+    kind: ClusterEventKind
+    stable_ids: Tuple[int, ...]  # the tracked id(s) involved
+    size: int  # size of the (surviving/new) cluster, 0 for DIED
+    members: FrozenSet[Vertex] = field(repr=False, default=frozenset())
+
+
+@dataclass
+class TrackingReport:
+    """Outcome of one :meth:`ClusterTracker.update` call."""
+
+    events: List[ClusterEvent]
+    stable_id_of: Dict[object, int]  # snapshot label → stable id
+    stability: float  # ARI vs the previous snapshot (1.0 on first)
+
+    def count(self, kind: ClusterEventKind) -> int:
+        """Number of events of the given kind."""
+        return sum(1 for event in self.events if event.kind is kind)
+
+
+class ClusterTracker:
+    """Assigns stable ids to clusters across a stream of snapshots.
+
+    ``min_size`` filters noise: clusters smaller than it are ignored
+    entirely (streaming snapshots contain many singletons).
+
+    >>> tracker = ClusterTracker(min_size=2)
+    >>> report = tracker.update(Partition.from_clusters([{1, 2, 3}]))
+    >>> report.count(ClusterEventKind.BORN)
+    1
+    """
+
+    def __init__(self, threshold: float = 0.3, min_size: int = 2) -> None:
+        check_probability("threshold", threshold)
+        if min_size < 1:
+            raise ValueError(f"min_size must be >= 1, got {min_size}")
+        self.threshold = threshold
+        self.min_size = min_size
+        self._next_id = itertools.count()
+        self._tracked: Dict[int, FrozenSet[Vertex]] = {}
+        self._previous: Optional[Partition] = None
+
+    @property
+    def tracked_clusters(self) -> Dict[int, FrozenSet[Vertex]]:
+        """Current stable-id → member-set view (copy)."""
+        return dict(self._tracked)
+
+    def update(self, snapshot: Partition) -> TrackingReport:
+        """Ingest the next snapshot; returns the lifecycle events."""
+        new_clusters = {
+            label: members
+            for label, members in (
+                (label, snapshot.members(label))
+                for label in {snapshot.label_of(v) for v in snapshot.vertices()}
+            )
+            if len(members) >= self.min_size
+        }
+        stability = 1.0
+        if self._previous is not None:
+            stability = ari(snapshot, self._previous)
+
+        # Overlap counts between old tracked clusters and new clusters.
+        vertex_to_old: Dict[Vertex, int] = {}
+        for stable_id, members in self._tracked.items():
+            for vertex in members:
+                vertex_to_old[vertex] = stable_id
+        overlap: Dict[Tuple[int, object], int] = {}
+        for label, members in new_clusters.items():
+            for vertex in members:
+                old = vertex_to_old.get(vertex)
+                if old is not None:
+                    overlap[(old, label)] = overlap.get((old, label), 0) + 1
+
+        best_new_for_old: Dict[int, Tuple[int, object]] = {}
+        best_old_for_new: Dict[object, Tuple[int, int]] = {}
+        for (old, label), count in overlap.items():
+            if old not in best_new_for_old or count > best_new_for_old[old][0]:
+                best_new_for_old[old] = (count, label)
+            if label not in best_old_for_new or count > best_old_for_new[label][0]:
+                best_old_for_new[label] = (count, old)
+
+        # Old clusters contributing a threshold fraction of *themselves*
+        # to a new cluster count as its parents.
+        parents_of: Dict[object, List[int]] = {}
+        for (old, label), count in overlap.items():
+            if count >= self.threshold * len(self._tracked[old]):
+                parents_of.setdefault(label, []).append(old)
+
+        events: List[ClusterEvent] = []
+        stable_id_of: Dict[object, int] = {}
+        accounted_old: set = set()
+
+        for label, members in new_clusters.items():
+            parents = tuple(sorted(parents_of.get(label, ())))
+            # Continuation candidate: mutual best with Jaccard ≥ threshold.
+            count, dominant = best_old_for_new.get(label, (0, None))
+            continues = (
+                dominant is not None
+                and best_new_for_old.get(dominant, (0, None))[1] == label
+                and count / len(self._tracked[dominant] | members) >= self.threshold
+            )
+            if len(parents) > 1:
+                # Several old clusters flowed in: a merge. The dominant
+                # parent's identity survives when it is a genuine
+                # continuation; otherwise the merged cluster is new.
+                kept = dominant if continues else next(self._next_id)
+                stable_id_of[label] = kept
+                accounted_old.update(parents)
+                if continues:
+                    accounted_old.add(dominant)
+                ids = parents + (kept,)
+                events.append(
+                    ClusterEvent(ClusterEventKind.MERGED, ids, len(members),
+                                 frozenset(members))
+                )
+            elif continues:
+                stable_id_of[label] = dominant
+                accounted_old.add(dominant)
+                events.append(
+                    ClusterEvent(ClusterEventKind.CONTINUED, (dominant,),
+                                 len(members), frozenset(members))
+                )
+            elif len(parents) == 1:
+                stable_id = next(self._next_id)
+                stable_id_of[label] = stable_id
+                # The parent is accounted for only if some sibling carries
+                # its identity on; a pure shatter also emits DIED below.
+                events.append(
+                    ClusterEvent(ClusterEventKind.SPLIT,
+                                 parents + (stable_id,), len(members),
+                                 frozenset(members))
+                )
+                accounted_old.add(parents[0])
+            else:
+                stable_id = next(self._next_id)
+                stable_id_of[label] = stable_id
+                events.append(
+                    ClusterEvent(ClusterEventKind.BORN, (stable_id,),
+                                 len(members), frozenset(members))
+                )
+
+        # Old clusters that neither continued, merged, nor split → DIED.
+        for old in self._tracked:
+            if old not in accounted_old:
+                events.append(ClusterEvent(ClusterEventKind.DIED, (old,), 0))
+
+        self._tracked = {
+            stable_id_of[label]: frozenset(members)
+            for label, members in new_clusters.items()
+        }
+        self._previous = snapshot
+        return TrackingReport(
+            events=events, stable_id_of=stable_id_of, stability=stability
+        )

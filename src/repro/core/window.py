@@ -1,0 +1,122 @@
+"""Sliding-window clustering over an insert-only stream.
+
+Deployments of streaming clustering frequently want the clustering of
+the *recent* graph — e.g. interactions in the last hour — rather than of
+everything ever seen. :class:`SlidingWindowClusterer` turns an
+insert-only edge stream into an add+delete stream over the last
+``window`` edge arrivals and feeds it to a
+:class:`~repro.core.clusterer.StreamingGraphClusterer`. This is also the
+natural large-scale exercise of the reservoir's deletion path
+(experiment E6).
+
+Semantics: an edge is present iff it occurred among the last ``window``
+ADD_EDGE events. Re-occurrences refresh the edge (multiset counting), so
+expiring an older copy of a still-recent edge does not drop it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, FrozenSet, Iterable
+
+from repro.core.clusterer import StreamingGraphClusterer
+from repro.core.config import ClustererConfig
+from repro.errors import UnsupportedOperationError
+from repro.quality.partition import Partition
+from repro.streams.events import (
+    Edge,
+    EdgeEvent,
+    EventKind,
+    Vertex,
+    delete_edge,
+)
+from repro.util.validation import check_positive
+
+__all__ = ["SlidingWindowClusterer"]
+
+
+class SlidingWindowClusterer:
+    """Cluster the graph induced by the last ``window`` edge arrivals."""
+
+    def __init__(self, config: ClustererConfig, window: int) -> None:
+        check_positive("window", window)
+        self.window = window
+        self._inner = StreamingGraphClusterer(config)
+        self._recent: Deque[Edge] = deque()
+        self._multiplicity: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def apply(self, event: EdgeEvent) -> None:
+        """Process one event of the insert-only stream."""
+        kind = event.kind
+        if kind is EventKind.ADD_EDGE:
+            self._on_add(event.edge)
+        elif kind is EventKind.ADD_VERTEX:
+            self._inner.apply(event)
+        else:
+            raise UnsupportedOperationError(
+                "SlidingWindowClusterer consumes insert-only streams; "
+                f"got {kind.value}. Feed deletions directly to "
+                "StreamingGraphClusterer instead."
+            )
+
+    def process(self, events: Iterable[EdgeEvent]) -> "SlidingWindowClusterer":
+        """Process a whole stream; returns self for chaining."""
+        for event in events:
+            self.apply(event)
+        return self
+
+    def _on_add(self, edge: Edge) -> None:
+        self._recent.append(edge)
+        self._multiplicity[edge] += 1
+        if self._multiplicity[edge] == 1:
+            self._inner.apply(EdgeEvent(EventKind.ADD_EDGE, *edge))
+        while len(self._recent) > self.window:
+            expired = self._recent.popleft()
+            self._multiplicity[expired] -= 1
+            if self._multiplicity[expired] == 0:
+                del self._multiplicity[expired]
+                self._inner.apply(delete_edge(*expired))
+
+    # ------------------------------------------------------------------
+    # Delegated queries
+    # ------------------------------------------------------------------
+    @property
+    def inner(self) -> StreamingGraphClusterer:
+        """The underlying streaming clusterer (stats, reservoir, …)."""
+        return self._inner
+
+    @property
+    def window_fill(self) -> int:
+        """Number of edge arrivals currently inside the window."""
+        return len(self._recent)
+
+    @property
+    def num_live_edges(self) -> int:
+        """Number of distinct edges currently in the window."""
+        return len(self._multiplicity)
+
+    def snapshot(self) -> Partition:
+        """Clustering of the windowed graph."""
+        return self._inner.snapshot()
+
+    def same_cluster(self, u: Vertex, v: Vertex) -> bool:
+        """True if ``u`` and ``v`` are currently clustered together."""
+        return self._inner.same_cluster(u, v)
+
+    def cluster_members(self, v: Vertex) -> FrozenSet[Vertex]:
+        """All vertices clustered with ``v``."""
+        return self._inner.cluster_members(v)
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters over the windowed graph."""
+        return self._inner.num_clusters
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindowClusterer(window={self.window}, "
+            f"fill={self.window_fill}, live_edges={self.num_live_edges})"
+        )

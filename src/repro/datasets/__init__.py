@@ -1,0 +1,23 @@
+"""Dataset registry: real fixtures and synthetic stand-ins for the
+paper's evaluation graphs (see DESIGN.md for the substitution rationale)."""
+
+from repro.datasets.fixtures import KARATE_EDGES, barbell, karate_club, two_triangles
+from repro.datasets.registry import (
+    DATASETS,
+    Dataset,
+    dataset_names,
+    dataset_statistics,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "KARATE_EDGES",
+    "barbell",
+    "dataset_names",
+    "dataset_statistics",
+    "karate_club",
+    "load_dataset",
+    "two_triangles",
+]

@@ -1,0 +1,74 @@
+"""Small exact graph fixtures.
+
+Zachary's karate club (public-domain, Zachary 1977) is the one *real*
+graph small enough to embed verbatim; it anchors the dataset registry's
+synthetic stand-ins with an exact, widely-reproduced instance. The
+remaining fixtures are hand-built structures used in tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.quality.partition import Partition
+from repro.streams.events import Edge
+
+__all__ = [
+    "KARATE_EDGES",
+    "karate_club",
+    "two_triangles",
+    "barbell",
+]
+
+#: Zachary's karate club, 34 vertices / 78 edges, canonical 0-indexed ids.
+KARATE_EDGES: List[Edge] = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8),
+    (0, 10), (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21),
+    (0, 31), (1, 2), (1, 3), (1, 7), (1, 13), (1, 17), (1, 19),
+    (1, 21), (1, 30), (2, 3), (2, 7), (2, 8), (2, 9), (2, 13),
+    (2, 27), (2, 28), (2, 32), (3, 7), (3, 12), (3, 13), (4, 6),
+    (4, 10), (5, 6), (5, 10), (5, 16), (6, 16), (8, 30), (8, 32),
+    (8, 33), (9, 33), (13, 33), (14, 32), (14, 33), (15, 32),
+    (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33),
+    (22, 32), (22, 33), (23, 25), (23, 27), (23, 29), (23, 32),
+    (23, 33), (24, 25), (24, 27), (24, 31), (25, 31), (26, 29),
+    (26, 33), (27, 33), (28, 31), (28, 33), (29, 32), (29, 33),
+    (30, 32), (30, 33), (31, 32), (31, 33), (32, 33),
+]
+
+_MR_HI = [0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 16, 17, 19, 21]
+_OFFICER = [9, 14, 15, 18, 20, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33]
+
+
+def karate_club() -> Tuple[List[Edge], Partition]:
+    """Zachary's karate club with the historical two-faction split."""
+    truth = Partition.from_clusters([set(_MR_HI), set(_OFFICER)])
+    return list(KARATE_EDGES), truth
+
+
+def two_triangles(bridge: bool = True) -> Tuple[List[Edge], Partition]:
+    """Two triangles, optionally joined by one bridge edge."""
+    edges: List[Edge] = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+    if bridge:
+        edges.append((2, 3))
+    truth = Partition.from_clusters([{0, 1, 2}, {3, 4, 5}])
+    return edges, truth
+
+
+def barbell(clique_size: int = 5, path_length: int = 3) -> Tuple[List[Edge], Partition]:
+    """Two cliques joined by a path — the canonical low-conductance pair."""
+    if clique_size < 2:
+        raise ValueError("clique_size must be at least 2")
+    edges: List[Edge] = []
+    left = list(range(clique_size))
+    right = list(range(clique_size + path_length, 2 * clique_size + path_length))
+    for group in (left, right):
+        for i, u in enumerate(group):
+            for v in group[i + 1 :]:
+                edges.append((u, v))
+    chain = [left[-1]] + list(range(clique_size, clique_size + path_length)) + [right[0]]
+    for a, b in zip(chain, chain[1:]):
+        edges.append((a, b))
+    middle = set(range(clique_size, clique_size + path_length))
+    truth = Partition.from_clusters([set(left), middle, set(right)])
+    return edges, truth

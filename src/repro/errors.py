@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "StreamError", "UnsupportedOperationError"]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class StreamError(ReproError):
+    """A malformed stream event (duplicate add, delete of absent edge, …).
+
+    Raised only under ``strict`` stream validation; non-strict clusterers
+    count and skip malformed events instead.
+    """
+
+
+class UnsupportedOperationError(ReproError):
+    """The requested operation needs state this configuration dropped.
+
+    E.g. vertex deletion requires ``track_graph=True`` because a pure
+    edge reservoir cannot enumerate the incident edges to remove.
+    """

@@ -1,0 +1,19 @@
+"""Graph substrates: dynamic adjacency graphs and frozen CSR snapshots."""
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.convert import (
+    adjacency_to_csr,
+    csr_to_adjacency,
+    events_to_edge_list,
+    graph_from_events,
+)
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "AdjacencyGraph",
+    "CSRGraph",
+    "adjacency_to_csr",
+    "csr_to_adjacency",
+    "events_to_edge_list",
+    "graph_from_events",
+]

@@ -1,0 +1,203 @@
+"""Dynamic undirected graph backed by adjacency sets.
+
+:class:`AdjacencyGraph` is the mutable graph substrate: the streaming
+clusterer keeps one for the *full* graph (needed for quality metrics and
+for the resample-on-delete reservoir policy) and the reservoir keeps the
+sampled sub-graph structure in its connectivity index.
+
+Design notes
+------------
+* Undirected, no self-loops, no parallel edges — matching the paper's
+  stream model after canonicalization.
+* ``add_edge``/``remove_edge`` are O(1); edge iteration is O(m).
+* Vertices may exist with degree zero (explicit ADD_VERTEX events).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set
+
+from repro.streams.events import Edge, Vertex, canonical_edge
+
+__all__ = ["AdjacencyGraph"]
+
+
+class AdjacencyGraph:
+    """A dynamic undirected simple graph.
+
+    >>> g = AdjacencyGraph()
+    >>> g.add_edge(1, 2)
+    True
+    >>> g.add_edge(2, 1)   # duplicate, canonicalized away
+    False
+    >>> g.num_edges, g.num_vertices
+    (1, 2)
+    """
+
+    def __init__(self, edges: Iterable[Edge] | None = None) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> bool:
+        """Add an isolated vertex; returns False if it already exists."""
+        if v in self._adj:
+            return False
+        self._adj[v] = set()
+        return True
+
+    def add_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Add the undirected edge ``{u, v}``; returns False if present.
+
+        Endpoints are created implicitly, mirroring how streaming graphs
+        introduce vertices through their first edge.
+        """
+        u, v = canonical_edge(u, v)
+        neighbours = self._adj.setdefault(u, set())
+        if v in neighbours:
+            return False
+        neighbours.add(v)
+        self._adj.setdefault(v, set()).add(u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Remove the edge ``{u, v}``; returns False if it was absent."""
+        u, v = canonical_edge(u, v)
+        neighbours = self._adj.get(u)
+        if neighbours is None or v not in neighbours:
+            return False
+        neighbours.discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+        return True
+
+    def remove_vertex(self, v: Vertex) -> List[Edge]:
+        """Remove ``v`` and all incident edges; returns the removed edges.
+
+        Returns an empty list if the vertex was absent (idempotent).
+        """
+        neighbours = self._adj.pop(v, None)
+        if neighbours is None:
+            return []
+        removed: List[Edge] = []
+        for w in neighbours:
+            self._adj[w].discard(v)
+            removed.append(canonical_edge(v, w))
+        self._num_edges -= len(removed)
+        return removed
+
+    def clear(self) -> None:
+        """Remove all vertices and edges."""
+        self._adj.clear()
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_vertex(self, v: Vertex) -> bool:
+        """True if ``v`` is in the graph (even with degree 0)."""
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """True if the undirected edge ``{u, v}`` is present."""
+        if u == v:
+            return False
+        neighbours = self._adj.get(u)
+        return neighbours is not None and v in neighbours
+
+    def degree(self, v: Vertex) -> int:
+        """Degree of ``v``; raises ``KeyError`` for unknown vertices."""
+        return len(self._adj[v])
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        """A *copy-free view* is intentionally not exposed; returns a frozen
+        iteration-safe set copy of ``v``'s neighbours."""
+        return set(self._adj[v])
+
+    def iter_neighbors(self, v: Vertex) -> Iterator[Vertex]:
+        """Iterate neighbours without copying (do not mutate while iterating)."""
+        return iter(self._adj[v])
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the graph."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges currently in the graph."""
+        return self._num_edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges in canonical form, each exactly once."""
+        for u, neighbours in self._adj.items():
+            for v in neighbours:
+                edge = canonical_edge(u, v)
+                if edge[0] == u:
+                    yield edge
+
+    def edge_list(self) -> List[Edge]:
+        """All edges as a list (stable within a single graph state)."""
+        return list(self.edges())
+
+    def subgraph_edges(self, vertices: Set[Vertex]) -> List[Edge]:
+        """Edges with *both* endpoints inside ``vertices``."""
+        result: List[Edge] = []
+        for v in vertices:
+            neighbours = self._adj.get(v)
+            if not neighbours:
+                continue
+            for w in neighbours:
+                if w in vertices:
+                    edge = canonical_edge(v, w)
+                    if edge[0] == v:
+                        result.append(edge)
+        return result
+
+    def connected_components(self) -> List[Set[Vertex]]:
+        """Connected components via iterative BFS (used as a test oracle
+        and by offline baselines; the streaming path uses
+        :mod:`repro.connectivity` instead)."""
+        seen: Set[Vertex] = set()
+        components: List[Set[Vertex]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            seen.add(start)
+            while frontier:
+                node = frontier.pop()
+                for neighbour in self._adj[node]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            components.append(component)
+        return components
+
+    def copy(self) -> "AdjacencyGraph":
+        """Deep copy of the graph structure."""
+        clone = AdjacencyGraph()
+        clone._adj = {v: set(ns) for v, ns in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __repr__(self) -> str:
+        return (
+            f"AdjacencyGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )

@@ -1,0 +1,57 @@
+"""Conversions between graph representations and event streams."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.csr import CSRGraph
+from repro.streams.events import Edge, EdgeEvent, EventKind
+
+__all__ = [
+    "graph_from_events",
+    "events_to_edge_list",
+    "adjacency_to_csr",
+    "csr_to_adjacency",
+]
+
+
+def graph_from_events(events: Iterable[EdgeEvent]) -> AdjacencyGraph:
+    """Replay a stream into the final :class:`AdjacencyGraph` state.
+
+    Malformed events (duplicate adds, deletes of absent edges/vertices)
+    are applied idempotently — this mirrors a non-strict clusterer and is
+    handy for computing metrics over arbitrary streams.
+    """
+    graph = AdjacencyGraph()
+    for event in events:
+        kind = event.kind
+        if kind is EventKind.ADD_EDGE:
+            graph.add_edge(event.u, event.v)
+        elif kind is EventKind.DELETE_EDGE:
+            graph.remove_edge(event.u, event.v)
+        elif kind is EventKind.ADD_VERTEX:
+            graph.add_vertex(event.u)
+        else:
+            graph.remove_vertex(event.u)
+    return graph
+
+
+def events_to_edge_list(events: Iterable[EdgeEvent]) -> List[Edge]:
+    """Final edge list after replaying a stream."""
+    return graph_from_events(events).edge_list()
+
+
+def adjacency_to_csr(graph: AdjacencyGraph) -> CSRGraph:
+    """Freeze a dynamic graph into a CSR snapshot."""
+    return CSRGraph.from_adjacency(graph)
+
+
+def csr_to_adjacency(csr: CSRGraph) -> AdjacencyGraph:
+    """Thaw a CSR snapshot back into a dynamic graph."""
+    graph = AdjacencyGraph()
+    for v in csr.ids:
+        graph.add_vertex(v)
+    for u, v in csr.edges():
+        graph.add_edge(csr.ids[u], csr.ids[v])
+    return graph

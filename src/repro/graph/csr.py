@@ -1,0 +1,129 @@
+"""Immutable CSR (compressed sparse row) graph snapshots.
+
+The offline baselines (spectral, MCL, multilevel, Louvain) operate on a
+frozen snapshot of the graph; CSR gives them cache-friendly, vectorized
+access via numpy arrays and a zero-copy bridge to ``scipy.sparse``.
+
+Vertices are remapped to dense indices ``0..n-1``; the original ids are
+kept in :attr:`CSRGraph.ids` and the inverse mapping in
+:attr:`CSRGraph.index_of`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.streams.events import Edge, Vertex
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Frozen undirected graph in CSR form.
+
+    >>> g = CSRGraph.from_edges([(10, 20), (20, 30)])
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    >>> sorted(g.ids[i] for i in g.neighbors(g.index_of[20]))
+    [10, 30]
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        ids: Sequence[Vertex],
+    ) -> None:
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D arrays")
+        if len(indptr) != len(ids) + 1:
+            raise ValueError("indptr length must be num_vertices + 1")
+        self.indptr = indptr
+        self.indices = indices
+        self.ids: List[Vertex] = list(ids)
+        self.index_of: Dict[Vertex, int] = {v: i for i, v in enumerate(self.ids)}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Edge], vertices: Iterable[Vertex] | None = None
+    ) -> "CSRGraph":
+        """Build from an edge list (plus optional isolated vertices)."""
+        edge_list = list(edges)
+        id_set = set(vertices) if vertices is not None else set()
+        for u, v in edge_list:
+            id_set.add(u)
+            id_set.add(v)
+        try:
+            ids = sorted(id_set)  # type: ignore[type-var]
+        except TypeError:
+            ids = sorted(id_set, key=repr)
+        index_of = {v: i for i, v in enumerate(ids)}
+        n = len(ids)
+        degree = np.zeros(n, dtype=np.int64)
+        for u, v in edge_list:
+            degree[index_of[u]] += 1
+            degree[index_of[v]] += 1
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degree, out=indptr[1:])
+        indices = np.zeros(int(indptr[-1]), dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for u, v in edge_list:
+            iu, iv = index_of[u], index_of[v]
+            indices[cursor[iu]] = iv
+            cursor[iu] += 1
+            indices[cursor[iv]] = iu
+            cursor[iv] += 1
+        return cls(indptr, indices, ids)
+
+    @classmethod
+    def from_adjacency(cls, graph) -> "CSRGraph":
+        """Snapshot a :class:`repro.graph.adjacency.AdjacencyGraph`."""
+        return cls.from_edges(graph.edges(), graph.vertices())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self.indices) // 2
+
+    def degree(self, index: int) -> int:
+        """Degree of the vertex at dense ``index``."""
+        return int(self.indptr[index + 1] - self.indptr[index])
+
+    def degrees(self) -> np.ndarray:
+        """Degrees of all vertices (dense order)."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, index: int) -> np.ndarray:
+        """Neighbor indices of the vertex at dense ``index`` (view)."""
+        return self.indices[self.indptr[index] : self.indptr[index + 1]]
+
+    def edges(self) -> Iterable[Tuple[int, int]]:
+        """Iterate undirected edges as dense index pairs (u < v once each)."""
+        for u in range(self.num_vertices):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, int(v))
+
+    def to_scipy(self):
+        """The adjacency matrix as a ``scipy.sparse.csr_matrix`` (0/1)."""
+        from scipy.sparse import csr_matrix
+
+        data = np.ones(len(self.indices), dtype=np.float64)
+        n = self.num_vertices
+        return csr_matrix((data, self.indices, self.indptr), shape=(n, n))
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(num_vertices={self.num_vertices}, num_edges={self.num_edges})"

@@ -1,0 +1,51 @@
+"""Clustering quality metrics (internal and against ground truth)."""
+
+from repro.quality.conductance import (
+    ClusterCutStats,
+    average_conductance,
+    cluster_cut_stats,
+    conductances,
+    coverage,
+    internal_densities,
+    max_conductance,
+    normalized_cut,
+)
+from repro.quality.external import (
+    PairCounts,
+    ari,
+    nmi,
+    pair_counts,
+    pairwise_f1,
+    pairwise_precision_recall_f1,
+    purity,
+)
+from repro.quality.information import (
+    normalized_vi,
+    split_join_distance,
+    variation_of_information,
+)
+from repro.quality.modularity import modularity
+from repro.quality.partition import Partition
+
+__all__ = [
+    "ClusterCutStats",
+    "PairCounts",
+    "Partition",
+    "ari",
+    "average_conductance",
+    "cluster_cut_stats",
+    "conductances",
+    "coverage",
+    "internal_densities",
+    "max_conductance",
+    "modularity",
+    "nmi",
+    "normalized_cut",
+    "normalized_vi",
+    "pair_counts",
+    "pairwise_f1",
+    "pairwise_precision_recall_f1",
+    "purity",
+    "split_join_distance",
+    "variation_of_information",
+]

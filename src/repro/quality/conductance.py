@@ -1,0 +1,158 @@
+"""Cut-based cluster quality: conductance, coverage, internal density.
+
+For a cluster ``S`` with boundary cut ``c(S)`` (edges leaving ``S``) and
+volume ``vol(S)`` (sum of degrees inside ``S``):
+
+    φ(S) = c(S) / min(vol(S), vol(V \\ S))
+
+Lower conductance means a better-separated cluster. A *clustering* is
+scored by the average (or maximum) conductance over its non-trivial
+clusters — the standard objective streaming/partitioning papers of the
+era report alongside modularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for type hints
+    from repro.graph.adjacency import AdjacencyGraph
+from repro.quality.partition import Partition
+
+__all__ = [
+    "ClusterCutStats",
+    "cluster_cut_stats",
+    "conductances",
+    "average_conductance",
+    "max_conductance",
+    "coverage",
+    "internal_densities",
+    "normalized_cut",
+]
+
+
+@dataclass(frozen=True)
+class ClusterCutStats:
+    """Raw cut quantities for one cluster."""
+
+    label: object
+    size: int
+    volume: int  # sum of degrees of members
+    cut: int  # edges with exactly one endpoint inside
+    internal: int  # edges with both endpoints inside
+
+    @property
+    def conductance(self) -> float:
+        """φ(S); 0 for clusters with no volume on either side."""
+        denominator = min(self.volume, self.complement_volume)
+        if denominator == 0:
+            return 0.0
+        return self.cut / denominator
+
+    @property
+    def complement_volume(self) -> int:
+        """vol(V \\ S) = 2m − vol(S); filled in by the caller."""
+        return self._complement_volume
+
+    # Set post-construction by cluster_cut_stats (dataclass is frozen for
+    # the user-facing fields; this backdoor keeps construction simple).
+    _complement_volume: int = 0
+
+
+def cluster_cut_stats(graph: "AdjacencyGraph", partition: Partition) -> List[ClusterCutStats]:
+    """Per-cluster size/volume/cut/internal counts in one edge pass."""
+    volume: Dict[object, int] = {}
+    cut: Dict[object, int] = {}
+    internal: Dict[object, int] = {}
+    size: Dict[object, int] = {}
+    for v in graph.vertices():
+        label = partition.get(v, ("_singleton", v))
+        size[label] = size.get(label, 0) + 1
+        volume[label] = volume.get(label, 0) + graph.degree(v)
+        cut.setdefault(label, 0)
+        internal.setdefault(label, 0)
+    for u, v in graph.edges():
+        lu = partition.get(u, ("_singleton", u))
+        lv = partition.get(v, ("_singleton", v))
+        if lu == lv:
+            internal[lu] += 1
+        else:
+            cut[lu] += 1
+            cut[lv] += 1
+    total_volume = 2 * graph.num_edges
+    return [
+        ClusterCutStats(
+            label=label,
+            size=size[label],
+            volume=volume[label],
+            cut=cut[label],
+            internal=internal[label],
+            _complement_volume=total_volume - volume[label],
+        )
+        for label in size
+    ]
+
+
+def conductances(
+    graph: "AdjacencyGraph", partition: Partition, min_size: int = 2
+) -> List[float]:
+    """Conductance of every cluster with at least ``min_size`` vertices."""
+    return [
+        stats.conductance
+        for stats in cluster_cut_stats(graph, partition)
+        if stats.size >= min_size
+    ]
+
+
+def average_conductance(
+    graph: "AdjacencyGraph", partition: Partition, min_size: int = 2
+) -> float:
+    """Mean conductance over non-trivial clusters (0 if there are none)."""
+    values = conductances(graph, partition, min_size)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def max_conductance(
+    graph: "AdjacencyGraph", partition: Partition, min_size: int = 2
+) -> float:
+    """Worst (largest) conductance over non-trivial clusters."""
+    values = conductances(graph, partition, min_size)
+    if not values:
+        return 0.0
+    return max(values)
+
+
+def coverage(graph: "AdjacencyGraph", partition: Partition) -> float:
+    """Fraction of edges that are intra-cluster (1.0 for one big cluster)."""
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    intra = sum(stats.internal for stats in cluster_cut_stats(graph, partition))
+    return intra / m
+
+
+def internal_densities(
+    graph: "AdjacencyGraph", partition: Partition, min_size: int = 2
+) -> List[float]:
+    """Internal edge density of each non-trivial cluster."""
+    result = []
+    for stats in cluster_cut_stats(graph, partition):
+        if stats.size < min_size:
+            continue
+        possible = stats.size * (stats.size - 1) / 2
+        result.append(stats.internal / possible if possible else 0.0)
+    return result
+
+
+def normalized_cut(graph: "AdjacencyGraph", partition: Partition) -> float:
+    """Σ_S cut(S)/vol(S) — the k-way normalized-cut objective (lower is better)."""
+    total = 0.0
+    for stats in cluster_cut_stats(graph, partition):
+        if stats.volume > 0:
+            total += stats.cut / stats.volume
+    return total

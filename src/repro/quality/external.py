@@ -1,0 +1,152 @@
+"""External (ground-truth) clustering quality measures.
+
+Used on synthetic benchmarks where the planted communities are known:
+
+* pairwise precision / recall / F1 — over same-cluster vertex pairs,
+* NMI — normalized mutual information,
+* ARI — adjusted Rand index,
+* purity — majority-label accuracy.
+
+All measures are computed over the intersection of the two partitions'
+vertex sets, so a clusterer that has not yet seen a vertex is not
+penalized for it (callers can check coverage separately).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.quality.partition import Partition
+
+__all__ = [
+    "PairCounts",
+    "pair_counts",
+    "pairwise_precision_recall_f1",
+    "pairwise_f1",
+    "nmi",
+    "ari",
+    "purity",
+]
+
+
+@dataclass(frozen=True)
+class PairCounts:
+    """Confusion counts over unordered vertex pairs."""
+
+    together_both: int  # same cluster in both partitions (true positive)
+    together_predicted: int  # same cluster in `predicted`
+    together_truth: int  # same cluster in `truth`
+    total_pairs: int
+
+
+def _contingency(
+    predicted: Partition, truth: Partition
+) -> Tuple[Dict[Tuple[object, object], int], Dict[object, int], Dict[object, int], int]:
+    common = [v for v in predicted.vertices() if v in truth]
+    joint: Dict[Tuple[object, object], int] = {}
+    left: Dict[object, int] = {}
+    right: Dict[object, int] = {}
+    for v in common:
+        lp = predicted.label_of(v)
+        lt = truth.label_of(v)
+        joint[(lp, lt)] = joint.get((lp, lt), 0) + 1
+        left[lp] = left.get(lp, 0) + 1
+        right[lt] = right.get(lt, 0) + 1
+    return joint, left, right, len(common)
+
+
+def pair_counts(predicted: Partition, truth: Partition) -> PairCounts:
+    """Pair-level confusion counts between two partitions."""
+    joint, left, right, n = _contingency(predicted, truth)
+    tp = sum(c * (c - 1) // 2 for c in joint.values())
+    pred_pairs = sum(c * (c - 1) // 2 for c in left.values())
+    truth_pairs = sum(c * (c - 1) // 2 for c in right.values())
+    return PairCounts(
+        together_both=tp,
+        together_predicted=pred_pairs,
+        together_truth=truth_pairs,
+        total_pairs=n * (n - 1) // 2,
+    )
+
+
+def pairwise_precision_recall_f1(
+    predicted: Partition, truth: Partition
+) -> Tuple[float, float, float]:
+    """(precision, recall, F1) over same-cluster pairs.
+
+    Degenerate cases follow the usual conventions: precision is 1.0 when
+    the prediction puts no pair together (nothing asserted, nothing
+    wrong), recall is 1.0 when the truth has no pair together.
+    """
+    counts = pair_counts(predicted, truth)
+    precision = (
+        counts.together_both / counts.together_predicted
+        if counts.together_predicted
+        else 1.0
+    )
+    recall = (
+        counts.together_both / counts.together_truth if counts.together_truth else 1.0
+    )
+    if precision + recall == 0:
+        return precision, recall, 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def pairwise_f1(predicted: Partition, truth: Partition) -> float:
+    """F1 over same-cluster pairs (harmonic mean of pair P and R)."""
+    return pairwise_precision_recall_f1(predicted, truth)[2]
+
+
+def nmi(predicted: Partition, truth: Partition) -> float:
+    """Normalized mutual information, arithmetic-mean normalization.
+
+    Returns 1.0 for identical groupings, ~0 for independent ones. By
+    convention two all-singleton (or two one-cluster) partitions with
+    zero entropy on both sides score 1.0.
+    """
+    joint, left, right, n = _contingency(predicted, truth)
+    if n == 0:
+        return 0.0
+    h_left = -sum((c / n) * math.log(c / n) for c in left.values())
+    h_right = -sum((c / n) * math.log(c / n) for c in right.values())
+    mutual = 0.0
+    for (lp, lt), c in joint.items():
+        p_joint = c / n
+        mutual += p_joint * math.log(p_joint / ((left[lp] / n) * (right[lt] / n)))
+    if h_left == 0.0 and h_right == 0.0:
+        return 1.0
+    denominator = (h_left + h_right) / 2
+    if denominator == 0.0:
+        return 0.0
+    return max(0.0, mutual / denominator)
+
+
+def ari(predicted: Partition, truth: Partition) -> float:
+    """Adjusted Rand index (1 = identical, ~0 = random agreement)."""
+    joint, left, right, n = _contingency(predicted, truth)
+    if n < 2:
+        return 1.0
+    sum_joint = sum(c * (c - 1) // 2 for c in joint.values())
+    sum_left = sum(c * (c - 1) // 2 for c in left.values())
+    sum_right = sum(c * (c - 1) // 2 for c in right.values())
+    total = n * (n - 1) // 2
+    expected = sum_left * sum_right / total
+    maximum = (sum_left + sum_right) / 2
+    if maximum == expected:
+        return 1.0
+    return (sum_joint - expected) / (maximum - expected)
+
+
+def purity(predicted: Partition, truth: Partition) -> float:
+    """Fraction of vertices in the majority truth-label of their cluster."""
+    joint, left, _, n = _contingency(predicted, truth)
+    if n == 0:
+        return 0.0
+    best: Dict[object, int] = {}
+    for (lp, _), c in joint.items():
+        if c > best.get(lp, 0):
+            best[lp] = c
+    return sum(best.values()) / n

@@ -1,0 +1,30 @@
+"""Stream-sampling substrates.
+
+The paper's fundamental building block — *graph reservoir sampling* —
+is assembled from these pieces:
+
+* :class:`ReservoirR` — classic insert-only reservoir (Algorithm R).
+* :class:`ReservoirL` — skip-based insert-only reservoir (Algorithm L),
+  the RNG-light variant for high-rate streams.
+* :class:`RandomPairingReservoir` — bounded-size uniform sample under
+  insertions **and** deletions (random pairing), with a propose/commit
+  protocol so the clusterer can veto constraint-violating admissions.
+* :class:`BernoulliSampler` — fixed-rate p-sampling, the theoretical
+  comparator (cut-preserving sparsification at fixed rate instead of
+  fixed memory).
+"""
+
+from repro.sampling.algorithm_l import ReservoirL
+from repro.sampling.algorithm_r import ReservoirR
+from repro.sampling.bernoulli import BernoulliSampler
+from repro.sampling.random_pairing import InsertProposal, RandomPairingReservoir
+from repro.sampling.weighted import WeightedReservoir
+
+__all__ = [
+    "BernoulliSampler",
+    "InsertProposal",
+    "RandomPairingReservoir",
+    "ReservoirL",
+    "ReservoirR",
+    "WeightedReservoir",
+]

@@ -1,0 +1,78 @@
+"""Algorithm L — skip-based insert-only reservoir sampling (Li 1994).
+
+Functionally identical to Algorithm R (uniform ``k``-sample of an
+insert-only stream) but instead of drawing one random number per item it
+draws geometric *skip counts*, touching the RNG only O(k log(n/k))
+times. For the high-rate streams the paper targets this removes the
+per-event RNG cost on the (overwhelmingly common) reject path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generic, List, Optional, TypeVar
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive
+
+__all__ = ["ReservoirL"]
+
+T = TypeVar("T")
+
+
+class ReservoirL(Generic[T]):
+    """Insert-only uniform reservoir using geometric skips.
+
+    Drop-in equivalent of :class:`repro.sampling.algorithm_r.ReservoirR`
+    with an O(1)-amortized, RNG-light reject path.
+    """
+
+    def __init__(self, capacity: int, seed: int | None = 0) -> None:
+        check_positive("capacity", capacity)
+        self._capacity = capacity
+        self._rng = make_rng(seed)
+        self._items: List[T] = []
+        self._stream_size = 0
+        self._w = 1.0
+        self._skip = -1  # items still to skip before the next admission
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident items."""
+        return self._capacity
+
+    @property
+    def stream_size(self) -> int:
+        """Number of items offered so far."""
+        return self._stream_size
+
+    @property
+    def items(self) -> List[T]:
+        """The current sample (copy; order is not meaningful)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _draw_skip(self) -> None:
+        """Draw the gap until the next admitted item (Li's method)."""
+        rng = self._rng
+        self._w *= math.exp(math.log(rng.random()) / self._capacity)
+        self._skip = int(math.floor(math.log(rng.random()) / math.log(1.0 - self._w)))
+
+    def offer(self, item: T) -> Optional[T]:
+        """Offer ``item``; same return contract as ``ReservoirR.offer``."""
+        self._stream_size += 1
+        if len(self._items) < self._capacity:
+            self._items.append(item)
+            if len(self._items) == self._capacity:
+                self._draw_skip()
+            return None
+        if self._skip > 0:
+            self._skip -= 1
+            return item
+        slot = self._rng.randrange(self._capacity)
+        evicted = self._items[slot]
+        self._items[slot] = item
+        self._draw_skip()
+        return evicted

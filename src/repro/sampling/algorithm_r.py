@@ -1,0 +1,75 @@
+"""Algorithm R — classic insert-only reservoir sampling (Vitter 1985).
+
+Maintains a uniform sample of ``k`` items from a stream of unknown
+length: the ``t``-th item (1-based) is admitted with probability
+``k / t`` and evicts a uniformly random resident.
+
+This is the building block the paper's *graph reservoir sampling*
+generalizes; the deletion-capable variant lives in
+:mod:`repro.sampling.random_pairing`.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Optional, TypeVar
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive
+
+__all__ = ["ReservoirR"]
+
+T = TypeVar("T")
+
+
+class ReservoirR(Generic[T]):
+    """Insert-only uniform reservoir of capacity ``k``.
+
+    >>> r = ReservoirR(3, seed=0)
+    >>> for x in range(100):
+    ...     _ = r.offer(x)
+    >>> len(r.items) == 3
+    True
+    """
+
+    def __init__(self, capacity: int, seed: int | None = 0) -> None:
+        check_positive("capacity", capacity)
+        self._capacity = capacity
+        self._rng = make_rng(seed)
+        self._items: List[T] = []
+        self._stream_size = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident items."""
+        return self._capacity
+
+    @property
+    def stream_size(self) -> int:
+        """Number of items offered so far."""
+        return self._stream_size
+
+    @property
+    def items(self) -> List[T]:
+        """The current sample (copy; order is not meaningful)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, item: T) -> Optional[T]:
+        """Offer ``item`` to the reservoir.
+
+        Returns the evicted item if ``item`` replaced a resident, ``item``
+        itself if it was rejected, or ``None`` if it was admitted into
+        spare capacity.
+        """
+        self._stream_size += 1
+        if len(self._items) < self._capacity:
+            self._items.append(item)
+            return None
+        slot = self._rng.randrange(self._stream_size)
+        if slot < self._capacity:
+            evicted = self._items[slot]
+            self._items[slot] = item
+            return evicted
+        return item

@@ -1,0 +1,83 @@
+"""Bernoulli (p-)sampling of a dynamic stream.
+
+Each inserted item is kept independently with probability ``p``;
+deletions remove the item from the sample if present. Unlike the
+reservoir samplers the sample size is not bounded — it concentrates
+around ``p · population``.
+
+This is the theoretical comparator for graph reservoir sampling: for
+graphs, keeping each edge with probability ``p ≳ (log n)/φ·…`` preserves
+sparse cuts (Karger-style sparsification), which is exactly why
+connected components of a sampled sub-graph track the dense clusters of
+the original. The reservoir variant trades the fixed rate for a fixed
+*memory budget*, which is what a streaming system needs.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Set, TypeVar
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_probability
+
+__all__ = ["BernoulliSampler"]
+
+T = TypeVar("T")
+
+
+class BernoulliSampler(Generic[T]):
+    """Keep each inserted item independently with probability ``p``."""
+
+    def __init__(self, p: float, seed: int | None = 0) -> None:
+        check_probability("p", p)
+        self._p = p
+        self._rng = make_rng(seed)
+        self._sample: Set[T] = set()
+        self._population = 0
+
+    @property
+    def p(self) -> float:
+        """Per-item sampling probability."""
+        return self._p
+
+    @property
+    def population(self) -> int:
+        """Current population size implied by the update history."""
+        return self._population
+
+    @property
+    def sample_size(self) -> int:
+        """Current number of sampled items."""
+        return len(self._sample)
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._sample
+
+    def contains(self, item: T) -> bool:
+        """True if ``item`` is currently sampled."""
+        return item in self._sample
+
+    def items(self) -> List[T]:
+        """The current sample as a list (copy)."""
+        return list(self._sample)
+
+    def insert(self, item: T) -> bool:
+        """Account for an insertion; returns True if ``item`` was sampled."""
+        self._population += 1
+        if self._rng.random() < self._p:
+            self._sample.add(item)
+            return True
+        return False
+
+    def delete(self, item: T) -> bool:
+        """Account for a deletion; returns True if ``item`` left the sample."""
+        if self._population <= 0:
+            raise ValueError("delete from an empty population")
+        self._population -= 1
+        if item in self._sample:
+            self._sample.discard(item)
+            return True
+        return False

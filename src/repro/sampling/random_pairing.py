@@ -1,0 +1,210 @@
+"""Random pairing — bounded-size reservoir under insertions *and* deletions.
+
+Random pairing (Gemulla, Lehner, Haas; VLDB 2006) maintains a uniform
+sample of the *current* population of a fully-dynamic stream without
+ever consulting the population itself. It is the deletion-capable
+reservoir the paper's graph reservoir sampling is built on.
+
+Idea: a deletion is not compensated immediately. Instead two counters
+record *uncompensated* deletions — ``c_bad`` for deletions that hit the
+sample and ``c_good`` for deletions that missed it. A subsequent
+insertion is *paired* with one of the uncompensated deletions: with
+probability ``c_bad / (c_bad + c_good)`` the new item takes a vacated
+sample slot (and ``c_bad`` decrements), otherwise it is skipped (and
+``c_good`` decrements). When no deletions are pending the classic
+Algorithm R step applies against the current population size.
+
+Two-phase insertions
+--------------------
+The streaming clusterer must be able to *veto* an admission (constraint
+policies may forbid the merge an edge would cause). The sampler
+therefore exposes a propose/commit protocol:
+
+>>> rp = RandomPairingReservoir(2, seed=1)
+>>> proposal = rp.propose_insert("a")
+>>> proposal.admit
+True
+>>> rp.commit(proposal)          # or rp.abort(proposal) to veto
+>>> rp.contains("a")
+True
+
+Counter bookkeeping happens at propose time (the pairing slot is
+consumed whether or not the caller commits), so uniformity is preserved
+exactly in the unconstrained case and degrades only by the vetoes the
+caller actually issues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterator, List, Optional, TypeVar
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive
+
+__all__ = ["InsertProposal", "RandomPairingReservoir"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class InsertProposal(Generic[T]):
+    """Outcome of :meth:`RandomPairingReservoir.propose_insert`.
+
+    ``admit`` says whether the sampler wants the item in the sample;
+    ``evicted`` names the resident that would make room (only in the
+    steady-state Algorithm R case). Pass the proposal back to
+    :meth:`~RandomPairingReservoir.commit` or
+    :meth:`~RandomPairingReservoir.abort`.
+    """
+
+    item: T
+    admit: bool
+    evicted: Optional[T] = None
+
+
+class _IndexedSet(Generic[T]):
+    """Set with O(1) membership, add, discard, and uniform random choice."""
+
+    def __init__(self) -> None:
+        self._index: Dict[T, int] = {}
+        self._items: List[T] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._index
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def add(self, item: T) -> None:
+        if item in self._index:
+            raise ValueError(f"duplicate sample item {item!r}")
+        self._index[item] = len(self._items)
+        self._items.append(item)
+
+    def discard(self, item: T) -> bool:
+        pos = self._index.pop(item, None)
+        if pos is None:
+            return False
+        last = self._items.pop()
+        if pos < len(self._items):  # the removed item was not the tail
+            self._items[pos] = last
+            self._index[last] = pos
+        return True
+
+    def choice(self, rng) -> T:
+        return self._items[rng.randrange(len(self._items))]
+
+    def items(self) -> List[T]:
+        return list(self._items)
+
+
+class RandomPairingReservoir(Generic[T]):
+    """Uniform bounded-size sample of a stream with deletions."""
+
+    def __init__(self, capacity: int, seed: int | None = 0) -> None:
+        check_positive("capacity", capacity)
+        self._capacity = capacity
+        self._rng = make_rng(seed)
+        self._sample: _IndexedSet[T] = _IndexedSet()
+        self._population = 0
+        self._c_bad = 0  # uncompensated deletions that had been sampled
+        self._c_good = 0  # uncompensated deletions that had not
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum sample size."""
+        return self._capacity
+
+    @property
+    def population(self) -> int:
+        """Current population size implied by the insert/delete history."""
+        return self._population
+
+    @property
+    def pending_deletions(self) -> int:
+        """Uncompensated deletions (``c_bad + c_good``)."""
+        return self._c_bad + self._c_good
+
+    @property
+    def sample_size(self) -> int:
+        """Current number of sampled items."""
+        return len(self._sample)
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def contains(self, item: T) -> bool:
+        """True if ``item`` is currently in the sample."""
+        return item in self._sample
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._sample
+
+    def items(self) -> List[T]:
+        """The current sample as a list (copy)."""
+        return self._sample.items()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def propose_insert(self, item: T) -> InsertProposal[T]:
+        """Account for an insertion and propose a sample action.
+
+        Counter updates happen here; the sample itself is only modified
+        by a subsequent :meth:`commit`.
+        """
+        self._population += 1
+        pending = self._c_bad + self._c_good
+        if pending > 0:
+            # Pair this insertion with a random uncompensated deletion.
+            if self._rng.randrange(pending) < self._c_bad:
+                self._c_bad -= 1
+                return InsertProposal(item, admit=True)
+            self._c_good -= 1
+            return InsertProposal(item, admit=False)
+        if len(self._sample) < self._capacity:
+            return InsertProposal(item, admit=True)
+        # Steady state: classic Algorithm R against the live population.
+        if self._rng.randrange(self._population) < self._capacity:
+            return InsertProposal(item, admit=True, evicted=self._sample.choice(self._rng))
+        return InsertProposal(item, admit=False)
+
+    def commit(self, proposal: InsertProposal[T]) -> None:
+        """Apply an admitting proposal to the sample."""
+        if not proposal.admit:
+            raise ValueError("cannot commit a non-admitting proposal")
+        if proposal.evicted is not None:
+            self._sample.discard(proposal.evicted)
+        self._sample.add(proposal.item)
+
+    def abort(self, proposal: InsertProposal[T]) -> None:
+        """Veto a proposal; the sample is left untouched.
+
+        Counters were already settled at propose time, so this is a
+        recorded no-op kept for call-site symmetry and future auditing.
+        """
+
+    def insert(self, item: T) -> InsertProposal[T]:
+        """Convenience: propose and immediately commit if admitting."""
+        proposal = self.propose_insert(item)
+        if proposal.admit:
+            self.commit(proposal)
+        return proposal
+
+    def delete(self, item: T) -> bool:
+        """Account for a deletion; returns True if ``item`` left the sample."""
+        if self._population <= 0:
+            raise ValueError("delete from an empty population")
+        self._population -= 1
+        if self._sample.discard(item):
+            self._c_bad += 1
+            return True
+        self._c_good += 1
+        return False

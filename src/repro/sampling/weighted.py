@@ -1,0 +1,140 @@
+"""Weighted reservoir sampling (Efraimidis–Spirakis A-Res / A-ExpJ).
+
+Graph streams frequently carry edge weights (interaction counts, tie
+strength); sampling edges proportionally to weight concentrates the
+reservoir on strong ties, which sharpens the sampled components around
+the cohesive cores. This is the natural weighted extension of the
+paper's building block (future-work territory for the original, a
+supported substrate here).
+
+Each item receives the key ``u^(1/w)`` with ``u ~ Uniform(0,1)``; the
+``k`` items with the largest keys form a weight-proportional sample
+(without replacement). ``WeightedReservoir`` implements the heap-based
+A-Res form; ``offer`` also supports the exponential-jump (A-ExpJ)
+skip mode that touches the RNG only O(k log(n/k)) times.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive
+
+__all__ = ["WeightedReservoir"]
+
+T = TypeVar("T")
+
+
+class WeightedReservoir(Generic[T]):
+    """Weight-proportional k-sample of an insert-only stream.
+
+    >>> wr = WeightedReservoir(2, seed=0)
+    >>> for item, weight in [("a", 1.0), ("b", 100.0), ("c", 100.0)]:
+    ...     _ = wr.offer(item, weight)
+    >>> set(wr.items()) == {"b", "c"}
+    True
+    """
+
+    def __init__(self, capacity: int, seed: int | None = 0, use_jumps: bool = True) -> None:
+        check_positive("capacity", capacity)
+        self._capacity = capacity
+        self._rng = make_rng(seed)
+        # Min-heap of (key, tie_breaker, item); smallest key is evicted.
+        self._heap: List[Tuple[float, int, T]] = []
+        self._counter = 0
+        self._use_jumps = use_jumps
+        self._jump_budget: Optional[float] = None  # A-ExpJ accumulated weight
+        self._stream_size = 0
+        self._total_weight = 0.0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum sample size."""
+        return self._capacity
+
+    @property
+    def stream_size(self) -> int:
+        """Number of items offered."""
+        return self._stream_size
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of offered weights."""
+        return self._total_weight
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def items(self) -> List[T]:
+        """The current sample (copy; order not meaningful)."""
+        return [item for _, _, item in self._heap]
+
+    def items_with_keys(self) -> List[Tuple[T, float]]:
+        """Sample items with their keys (diagnostics/tests)."""
+        return [(item, key) for key, _, item in self._heap]
+
+    def threshold(self) -> float:
+        """The smallest key currently resident (0.0 while filling)."""
+        if len(self._heap) < self._capacity:
+            return 0.0
+        return self._heap[0][0]
+
+    def account_weight(self, weight: float) -> None:
+        """Add ``weight`` to the stream totals without offering an item.
+
+        Used by callers that coalesce re-occurrences of a resident item
+        (the weighted clusterer) so ``total_weight`` stays faithful.
+        """
+        self._total_weight += weight
+
+    def offer(self, item: T, weight: float) -> bool:
+        """Offer ``item`` with ``weight > 0``; True if it entered the sample."""
+        admitted, _ = self.offer_detailed(item, weight)
+        return admitted
+
+    def offer_detailed(self, item: T, weight: float) -> Tuple[bool, Optional[T]]:
+        """Offer ``item``; returns (admitted, evicted_item_or_None).
+
+        The detailed form lets callers that mirror the sample in another
+        structure (the weighted clusterer's connectivity index) apply the
+        eviction too.
+        """
+        if not weight > 0:
+            raise ValueError(f"weight must be positive, got {weight!r}")
+        self._stream_size += 1
+        self._total_weight += weight
+        self._counter += 1
+        if len(self._heap) < self._capacity:
+            key = self._rng.random() ** (1.0 / weight)
+            heapq.heappush(self._heap, (key, self._counter, item))
+            if len(self._heap) == self._capacity and self._use_jumps:
+                self._draw_jump()
+            return True, None
+        if self._use_jumps:
+            assert self._jump_budget is not None
+            self._jump_budget -= weight
+            if self._jump_budget > 0:
+                return False, None
+            # This item crosses the exponential jump: admit it with a key
+            # drawn conditionally above the current threshold.
+            low = self.threshold() ** weight
+            key = (low + (1.0 - low) * self._rng.random()) ** (1.0 / weight)
+            evicted = heapq.heapreplace(self._heap, (key, self._counter, item))[2]
+            self._draw_jump()
+            return True, evicted
+        key = self._rng.random() ** (1.0 / weight)
+        if key > self.threshold():
+            evicted = heapq.heapreplace(self._heap, (key, self._counter, item))[2]
+            return True, evicted
+        return False, None
+
+    def _draw_jump(self) -> None:
+        """Draw the weight mass to skip before the next admission (A-ExpJ)."""
+        threshold = self.threshold()
+        if threshold <= 0.0:
+            self._jump_budget = 0.0
+            return
+        self._jump_budget = math.log(self._rng.random()) / math.log(threshold)

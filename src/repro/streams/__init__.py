@@ -1,0 +1,77 @@
+"""Streaming-graph event model, generators, orders, and I/O."""
+
+from repro.streams.events import (
+    Edge,
+    EdgeEvent,
+    EventKind,
+    Vertex,
+    add_edge,
+    add_vertex,
+    canonical_edge,
+    count_kinds,
+    delete_edge,
+    delete_vertex,
+    events_from_edges,
+)
+from repro.streams.generators import (
+    DriftPhase,
+    PlantedPartitionGraph,
+    drifting_sbm_stream,
+    erdos_renyi_edges,
+    planted_partition,
+    sbm_stream,
+)
+from repro.streams.io import (
+    read_edge_list,
+    read_event_stream,
+    write_edge_list,
+    write_event_stream,
+)
+from repro.streams.lfr import LFRGraph, lfr_graph, power_law_sequence
+from repro.streams.rmat import rmat_edges
+from repro.streams.timestamped import (
+    TimestampedEvent,
+    validate_timestamps,
+    with_poisson_timestamps,
+)
+from repro.streams.order import (
+    adversarial_bridge_first,
+    insert_delete_stream,
+    insert_only_stream,
+    shuffled,
+)
+
+__all__ = [
+    "DriftPhase",
+    "Edge",
+    "EdgeEvent",
+    "EventKind",
+    "LFRGraph",
+    "PlantedPartitionGraph",
+    "TimestampedEvent",
+    "Vertex",
+    "add_edge",
+    "add_vertex",
+    "adversarial_bridge_first",
+    "canonical_edge",
+    "count_kinds",
+    "delete_edge",
+    "delete_vertex",
+    "drifting_sbm_stream",
+    "erdos_renyi_edges",
+    "events_from_edges",
+    "insert_delete_stream",
+    "insert_only_stream",
+    "lfr_graph",
+    "planted_partition",
+    "power_law_sequence",
+    "read_edge_list",
+    "read_event_stream",
+    "rmat_edges",
+    "sbm_stream",
+    "shuffled",
+    "write_edge_list",
+    "validate_timestamps",
+    "with_poisson_timestamps",
+    "write_event_stream",
+]

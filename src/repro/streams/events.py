@@ -1,0 +1,133 @@
+"""Stream event model.
+
+A streaming graph is a (possibly infinite) sequence of :class:`EdgeEvent`
+values. Following the paper, the stream may contain **vertex or edge
+additions and deletions**; the clusterer consumes them one at a time in an
+online, incremental fashion.
+
+Vertices are arbitrary hashable identifiers (ints in all our generators).
+Edges are undirected and are canonicalized so that ``(u, v)`` and
+``(v, u)`` denote the same edge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Tuple
+
+__all__ = [
+    "Vertex",
+    "Edge",
+    "EventKind",
+    "EdgeEvent",
+    "canonical_edge",
+    "add_edge",
+    "delete_edge",
+    "add_vertex",
+    "delete_vertex",
+    "events_from_edges",
+    "count_kinds",
+]
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class EventKind(enum.Enum):
+    """The four update kinds the paper's stream model supports."""
+
+    ADD_EDGE = "add_edge"
+    DELETE_EDGE = "delete_edge"
+    ADD_VERTEX = "add_vertex"
+    DELETE_VERTEX = "delete_vertex"
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (sorted) form of the undirected edge ``{u, v}``.
+
+    Self-loops are rejected: the clustering model has no use for them and
+    allowing them would complicate connectivity bookkeeping silently.
+    """
+    if u == v:
+        raise ValueError(f"self-loop edges are not allowed: ({u!r}, {v!r})")
+    # Sort by repr as a total order over heterogeneous hashables; for the
+    # homogeneous int/str vertices used in practice this is the natural order.
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One update in a streaming graph.
+
+    For edge events both ``u`` and ``v`` are set; for vertex events only
+    ``u`` is meaningful and ``v`` is ``None``.
+    """
+
+    kind: EventKind
+    u: Vertex
+    v: Vertex | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (EventKind.ADD_EDGE, EventKind.DELETE_EDGE):
+            if self.v is None:
+                raise ValueError(f"{self.kind.value} event requires two endpoints")
+            cu, cv = canonical_edge(self.u, self.v)
+            object.__setattr__(self, "u", cu)
+            object.__setattr__(self, "v", cv)
+        else:
+            if self.v is not None:
+                raise ValueError(f"{self.kind.value} event takes a single vertex")
+
+    @property
+    def edge(self) -> Edge:
+        """The canonical edge for edge events; raises for vertex events."""
+        if self.v is None:
+            raise ValueError(f"{self.kind.value} event has no edge")
+        return (self.u, self.v)
+
+    @property
+    def is_edge_event(self) -> bool:
+        """True for ADD_EDGE / DELETE_EDGE events."""
+        return self.v is not None
+
+
+def add_edge(u: Vertex, v: Vertex) -> EdgeEvent:
+    """Shorthand constructor for an ADD_EDGE event."""
+    return EdgeEvent(EventKind.ADD_EDGE, u, v)
+
+
+def delete_edge(u: Vertex, v: Vertex) -> EdgeEvent:
+    """Shorthand constructor for a DELETE_EDGE event."""
+    return EdgeEvent(EventKind.DELETE_EDGE, u, v)
+
+
+def add_vertex(u: Vertex) -> EdgeEvent:
+    """Shorthand constructor for an ADD_VERTEX event."""
+    return EdgeEvent(EventKind.ADD_VERTEX, u)
+
+
+def delete_vertex(u: Vertex) -> EdgeEvent:
+    """Shorthand constructor for a DELETE_VERTEX event.
+
+    Deleting a vertex implicitly deletes all its incident edges; the
+    clusterer expands this internally.
+    """
+    return EdgeEvent(EventKind.DELETE_VERTEX, u)
+
+
+def events_from_edges(edges: Iterable[Edge]) -> Iterator[EdgeEvent]:
+    """Turn a plain edge list into an insert-only event stream."""
+    for u, v in edges:
+        yield add_edge(u, v)
+
+
+def count_kinds(events: Iterable[EdgeEvent]) -> dict:
+    """Count events per kind (consumes the iterable); useful in tests."""
+    counts: dict = {kind: 0 for kind in EventKind}
+    for event in events:
+        counts[event.kind] += 1
+    return counts

@@ -1,0 +1,241 @@
+"""Synthetic streaming-graph workload generators.
+
+These produce the workloads the evaluation runs on: planted-partition
+(stochastic block model) graphs with known ground truth, drifting
+variants that exercise deletions, and Erdős–Rényi noise graphs. All
+generators are deterministic in their ``seed`` and return plain edge
+lists / event lists so they compose with :mod:`repro.streams.order`.
+
+Edge sampling uses geometric skipping (sample the *gaps* between chosen
+pairs), so generating a G(n, p) block costs O(expected edges), not
+O(n²) — necessary for the scalability experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.quality.partition import Partition
+from repro.streams.events import Edge, EdgeEvent, add_edge, canonical_edge, delete_edge
+from repro.util.rng import child_seed, make_rng
+from repro.util.validation import check_positive, check_probability
+
+__all__ = [
+    "PlantedPartitionGraph",
+    "planted_partition",
+    "erdos_renyi_edges",
+    "sbm_stream",
+    "DriftPhase",
+    "drifting_sbm_stream",
+]
+
+
+def _skip_sample(total: int, p: float, rng) -> Iterator[int]:
+    """Yield a p-Bernoulli subset of range(total) via geometric skips."""
+    if p <= 0.0 or total <= 0:
+        return
+    if p >= 1.0:
+        yield from range(total)
+        return
+    log_q = math.log(1.0 - p)
+    index = -1
+    while True:
+        # Gap to the next selected index: floor(log(U)/log(1-p)).
+        gap = int(math.log(rng.random()) / log_q)
+        index += gap + 1
+        if index >= total:
+            return
+        yield index
+
+
+def _pairs_within(members: Sequence, p: float, rng) -> List[Edge]:
+    """p-sample of the unordered pairs inside ``members``."""
+    n = len(members)
+    total = n * (n - 1) // 2
+    edges: List[Edge] = []
+    for flat in _skip_sample(total, p, rng):
+        # Invert the lexicographic pair index (row-major upper triangle).
+        i = int((1 + math.isqrt(8 * flat + 1)) // 2)
+        j = flat - i * (i - 1) // 2
+        edges.append(canonical_edge(members[i], members[j]))
+    return edges
+
+
+def _pairs_across(left: Sequence, right: Sequence, p: float, rng) -> List[Edge]:
+    """p-sample of the bipartite pairs left × right."""
+    total = len(left) * len(right)
+    width = len(right)
+    edges: List[Edge] = []
+    for flat in _skip_sample(total, p, rng):
+        edges.append(canonical_edge(left[flat // width], right[flat % width]))
+    return edges
+
+
+@dataclass(frozen=True)
+class PlantedPartitionGraph:
+    """A generated graph together with its planted communities."""
+
+    edges: List[Edge]
+    truth: Partition
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices covered by the planted partition."""
+        return self.truth.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of generated edges."""
+        return len(self.edges)
+
+
+def planted_partition(
+    num_vertices: int,
+    num_communities: int,
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> PlantedPartitionGraph:
+    """Stochastic block model with equal-size communities.
+
+    Vertices ``0..n-1`` are split into ``num_communities`` nearly-equal
+    groups; intra-group pairs become edges with probability ``p_in``,
+    inter-group pairs with ``p_out``.
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("num_communities", num_communities)
+    check_probability("p_in", p_in)
+    check_probability("p_out", p_out)
+    if num_communities > num_vertices:
+        raise ValueError("more communities than vertices")
+    rng = make_rng(child_seed(seed, "planted_partition"))
+    communities: List[List[int]] = [[] for _ in range(num_communities)]
+    for v in range(num_vertices):
+        communities[v % num_communities].append(v)
+    edges: List[Edge] = []
+    for index, members in enumerate(communities):
+        edges.extend(_pairs_within(members, p_in, make_rng(child_seed(seed, "in", index))))
+    for i in range(num_communities):
+        for j in range(i + 1, num_communities):
+            edges.extend(
+                _pairs_across(
+                    communities[i],
+                    communities[j],
+                    p_out,
+                    make_rng(child_seed(seed, "out", i, j)),
+                )
+            )
+    truth = Partition.from_clusters(communities)
+    return PlantedPartitionGraph(edges=edges, truth=truth)
+
+
+def erdos_renyi_edges(num_vertices: int, p: float, seed: int = 0) -> List[Edge]:
+    """G(n, p) edge list (no community structure; the null model)."""
+    check_positive("num_vertices", num_vertices)
+    check_probability("p", p)
+    rng = make_rng(child_seed(seed, "gnp"))
+    return _pairs_within(list(range(num_vertices)), p, rng)
+
+
+def sbm_stream(
+    num_vertices: int,
+    num_communities: int,
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> Tuple[List[EdgeEvent], Partition]:
+    """Planted-partition graph as a shuffled insert-only event stream."""
+    graph = planted_partition(num_vertices, num_communities, p_in, p_out, seed)
+    rng = make_rng(child_seed(seed, "order"))
+    edges = list(graph.edges)
+    rng.shuffle(edges)
+    return [add_edge(u, v) for u, v in edges], graph.truth
+
+
+@dataclass(frozen=True)
+class DriftPhase:
+    """One phase of a drifting stream: events plus truth *after* them."""
+
+    events: List[EdgeEvent]
+    truth: Partition
+
+
+def drifting_sbm_stream(
+    num_vertices: int,
+    num_communities: int,
+    p_in: float,
+    p_out: float,
+    num_phases: int,
+    migrate_fraction: float = 0.2,
+    seed: int = 0,
+) -> List[DriftPhase]:
+    """A churning community structure (experiment E6's workload).
+
+    Phase 0 builds a planted-partition graph. Each later phase picks
+    ``migrate_fraction`` of the vertices, moves them to a different
+    community, deletes their now-stale edges, and adds fresh edges
+    consistent with the new membership. Every phase reports the planted
+    truth that holds after its events, so a tracker can be scored
+    phase by phase.
+    """
+    check_positive("num_phases", num_phases)
+    check_probability("migrate_fraction", migrate_fraction)
+    rng = make_rng(child_seed(seed, "drift"))
+    membership: Dict[int, int] = {
+        v: v % num_communities for v in range(num_vertices)
+    }
+    live_edges: set = set()
+
+    def sample_vertex_edges(v: int, phase: int) -> List[Edge]:
+        """Edges incident to ``v`` under the current membership."""
+        local = make_rng(child_seed(seed, "vertex", phase, v))
+        mine = membership[v]
+        result = []
+        for w in range(num_vertices):
+            if w == v:
+                continue
+            p = p_in if membership[w] == mine else p_out
+            if local.random() < p:
+                result.append(canonical_edge(v, w))
+        return result
+
+    phases: List[DriftPhase] = []
+    for phase in range(num_phases):
+        events: List[EdgeEvent] = []
+        if phase == 0:
+            graph = planted_partition(
+                num_vertices, num_communities, p_in, p_out, seed=child_seed(seed, "base")
+            )
+            membership = dict(graph.truth.labels())  # type: ignore[arg-type]
+            for edge in graph.edges:
+                live_edges.add(edge)
+                events.append(add_edge(*edge))
+            rng.shuffle(events)
+        else:
+            movers = rng.sample(range(num_vertices), max(1, int(migrate_fraction * num_vertices)))
+            for v in movers:
+                old = membership[v]
+                membership[v] = rng.choice(
+                    [c for c in range(num_communities) if c != old]
+                )
+            stale: List[Edge] = [
+                e for e in live_edges if e[0] in set(movers) or e[1] in set(movers)
+            ]
+            for edge in stale:
+                live_edges.discard(edge)
+                events.append(delete_edge(*edge))
+            fresh: List[Edge] = []
+            for v in movers:
+                for edge in sample_vertex_edges(v, phase):
+                    if edge not in live_edges:
+                        live_edges.add(edge)
+                        fresh.append(edge)
+            rng.shuffle(fresh)
+            events.extend(add_edge(*e) for e in fresh)
+        truth = Partition(
+            {v: membership[v] for v in range(num_vertices)}
+        )
+        phases.append(DriftPhase(events=events, truth=truth))
+    return phases

@@ -1,0 +1,149 @@
+"""Reading and writing edge lists and event streams.
+
+Formats
+-------
+*Edge list* — one edge per line, two whitespace-separated vertex ids;
+``#`` comments and blank lines ignored (the SNAP convention).
+
+*Event stream* — one event per line::
+
+    + u v      # add edge
+    - u v      # delete edge
+    +v u       # add vertex
+    -v u       # delete vertex
+
+Vertex ids are parsed as ints when possible, kept as strings otherwise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from repro.streams.events import (
+    Edge,
+    EdgeEvent,
+    EventKind,
+    add_edge,
+    add_vertex,
+    delete_edge,
+    delete_vertex,
+)
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_event_stream",
+    "write_event_stream",
+]
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def _open_for_read(source: PathOrFile):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def _open_for_write(target: PathOrFile):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="utf-8"), True
+    return target, False
+
+
+def _parse_vertex(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_edge_list(source: PathOrFile) -> List[Edge]:
+    """Parse an edge-list file; skips comments, blanks, and self-loops."""
+    handle, owned = _open_for_read(source)
+    try:
+        edges: List[Edge] = []
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError(f"line {line_number}: expected two vertex ids: {line!r}")
+            u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
+            if u == v:
+                continue
+            edges.append((u, v))
+        return edges
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_edge_list(edges: Iterable[Edge], target: PathOrFile) -> int:
+    """Write edges one per line; returns the number written."""
+    handle, owned = _open_for_write(target)
+    try:
+        count = 0
+        for u, v in edges:
+            handle.write(f"{u} {v}\n")
+            count += 1
+        return count
+    finally:
+        if owned:
+            handle.close()
+
+
+_EVENT_PREFIX = {
+    EventKind.ADD_EDGE: "+",
+    EventKind.DELETE_EDGE: "-",
+    EventKind.ADD_VERTEX: "+v",
+    EventKind.DELETE_VERTEX: "-v",
+}
+
+
+def write_event_stream(events: Iterable[EdgeEvent], target: PathOrFile) -> int:
+    """Serialize an event stream; returns the number of events written."""
+    handle, owned = _open_for_write(target)
+    try:
+        count = 0
+        for event in events:
+            prefix = _EVENT_PREFIX[event.kind]
+            if event.is_edge_event:
+                handle.write(f"{prefix} {event.u} {event.v}\n")
+            else:
+                handle.write(f"{prefix} {event.u}\n")
+            count += 1
+        return count
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_event_stream(source: PathOrFile) -> Iterator[EdgeEvent]:
+    """Parse an event-stream file lazily (one event per line)."""
+    handle, owned = _open_for_read(source)
+    try:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            op = parts[0]
+            try:
+                if op == "+" and len(parts) == 3:
+                    yield add_edge(_parse_vertex(parts[1]), _parse_vertex(parts[2]))
+                elif op == "-" and len(parts) == 3:
+                    yield delete_edge(_parse_vertex(parts[1]), _parse_vertex(parts[2]))
+                elif op == "+v" and len(parts) == 2:
+                    yield add_vertex(_parse_vertex(parts[1]))
+                elif op == "-v" and len(parts) == 2:
+                    yield delete_vertex(_parse_vertex(parts[1]))
+                else:
+                    raise ValueError(f"unrecognized event syntax: {stripped!r}")
+            except ValueError as error:
+                raise ValueError(f"line {line_number}: {error}") from None
+    finally:
+        if owned:
+            handle.close()

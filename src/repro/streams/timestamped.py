@@ -1,0 +1,57 @@
+"""Timestamped stream events.
+
+Real deployments window by *time* ("the last hour"), not by event
+count. A timestamped stream is a sequence of ``(timestamp, event)``
+pairs with non-decreasing timestamps; helpers here build them from
+plain streams and validate monotonicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.streams.events import EdgeEvent
+from repro.util.rng import child_seed, make_rng
+from repro.util.validation import check_positive
+
+__all__ = ["TimestampedEvent", "with_poisson_timestamps", "validate_timestamps"]
+
+
+@dataclass(frozen=True)
+class TimestampedEvent:
+    """A stream event paired with its arrival time (seconds)."""
+
+    timestamp: float
+    event: EdgeEvent
+
+
+def with_poisson_timestamps(
+    events: Iterable[EdgeEvent],
+    rate: float,
+    start: float = 0.0,
+    seed: int = 0,
+) -> List[TimestampedEvent]:
+    """Attach Poisson-process arrival times at ``rate`` events/second.
+
+    The standard arrival model for interaction streams; inter-arrival
+    gaps are i.i.d. exponential(rate).
+    """
+    check_positive("rate", rate)
+    rng = make_rng(child_seed(seed, "poisson"))
+    now = start
+    result: List[TimestampedEvent] = []
+    for event in events:
+        now += rng.expovariate(rate)
+        result.append(TimestampedEvent(now, event))
+    return result
+
+
+def validate_timestamps(stream: Sequence[TimestampedEvent]) -> None:
+    """Raise ``ValueError`` unless timestamps are non-decreasing."""
+    for index in range(1, len(stream)):
+        if stream[index].timestamp < stream[index - 1].timestamp:
+            raise ValueError(
+                f"timestamps regress at position {index}: "
+                f"{stream[index - 1].timestamp} -> {stream[index].timestamp}"
+            )

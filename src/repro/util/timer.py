@@ -1,0 +1,100 @@
+"""Monotonic timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["Stopwatch", "PhaseTimer"]
+
+
+class Stopwatch:
+    """A restartable monotonic stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> _ = sw.start()
+    >>> _ = sum(range(1000))
+    >>> sw.stop() >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch; returns self for chaining."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the total elapsed seconds."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time and stop."""
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Total elapsed seconds, including the running segment if any."""
+        running = 0.0
+        if self._start is not None:
+            running = time.perf_counter() - self._start
+        return self._elapsed + running
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates elapsed time per named phase.
+
+    Used by the harness to split, e.g., "sampling" vs "connectivity" time.
+
+    >>> pt = PhaseTimer()
+    >>> with pt.phase("setup"):
+    ...     _ = list(range(10))
+    >>> "setup" in pt.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    def phase(self, name: str) -> "_Phase":
+        """Return a context manager that accumulates into ``name``."""
+        return _Phase(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add ``seconds`` to phase ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        """Sum over all phases."""
+        return sum(self.totals.values())
+
+
+class _Phase:
+    def __init__(self, parent: PhaseTimer, name: str) -> None:
+        self._parent = parent
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._parent.add(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import barbell, karate_club, two_triangles
+from repro.graph import AdjacencyGraph
+from repro.streams import planted_partition
+
+
+@pytest.fixture
+def triangle_graph():
+    """Two triangles joined by a bridge."""
+    edges, truth = two_triangles(bridge=True)
+    return AdjacencyGraph(edges), truth
+
+
+@pytest.fixture
+def karate_graph():
+    """Zachary's karate club with the two-faction ground truth."""
+    edges, truth = karate_club()
+    return AdjacencyGraph(edges), truth
+
+
+@pytest.fixture
+def barbell_graph():
+    """Two 5-cliques joined by a 3-vertex path."""
+    edges, truth = barbell(clique_size=5, path_length=3)
+    return AdjacencyGraph(edges), truth
+
+
+@pytest.fixture
+def sbm_small():
+    """200-vertex, 4-community planted partition (clear structure)."""
+    return planted_partition(200, 4, p_in=0.25, p_out=0.005, seed=11)
+
+
+@pytest.fixture
+def rng():
+    """A seeded RNG for test-local randomness."""
+    return random.Random(1234)

@@ -1,0 +1,101 @@
+"""Unit tests for the dynamic adjacency graph."""
+
+import pytest
+
+from repro.graph import AdjacencyGraph
+
+
+class TestMutation:
+    def test_add_edge_creates_endpoints(self):
+        g = AdjacencyGraph()
+        assert g.add_edge(1, 2)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_duplicate_add_is_rejected(self):
+        g = AdjacencyGraph()
+        g.add_edge(1, 2)
+        assert not g.add_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = AdjacencyGraph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_remove_edge(self):
+        g = AdjacencyGraph([(1, 2), (2, 3)])
+        assert g.remove_edge(2, 1)
+        assert not g.remove_edge(1, 2)
+        assert g.num_edges == 1
+        assert g.has_vertex(1)  # endpoints survive edge removal
+
+    def test_remove_vertex_returns_incident_edges(self):
+        g = AdjacencyGraph([(1, 2), (1, 3), (2, 3)])
+        removed = g.remove_vertex(1)
+        assert sorted(removed) == [(1, 2), (1, 3)]
+        assert g.num_edges == 1
+        assert not g.has_vertex(1)
+
+    def test_remove_absent_vertex_is_noop(self):
+        g = AdjacencyGraph([(1, 2)])
+        assert g.remove_vertex(99) == []
+
+    def test_add_vertex_isolated(self):
+        g = AdjacencyGraph()
+        assert g.add_vertex(5)
+        assert not g.add_vertex(5)
+        assert g.degree(5) == 0
+
+    def test_clear(self):
+        g = AdjacencyGraph([(1, 2), (3, 4)])
+        g.clear()
+        assert g.num_vertices == 0 and g.num_edges == 0
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self):
+        g = AdjacencyGraph([(1, 2), (1, 3)])
+        assert g.degree(1) == 2
+        assert g.neighbors(1) == {2, 3}
+        assert set(g.iter_neighbors(2)) == {1}
+
+    def test_degree_unknown_vertex_raises(self):
+        g = AdjacencyGraph()
+        with pytest.raises(KeyError):
+            g.degree(1)
+
+    def test_edges_yields_each_once_canonical(self):
+        edges = [(1, 2), (2, 3), (1, 3)]
+        g = AdjacencyGraph(edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+    def test_has_edge(self):
+        g = AdjacencyGraph([(1, 2)])
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(1, 3)
+        assert not g.has_edge(1, 1)
+
+    def test_contains(self):
+        g = AdjacencyGraph([(1, 2)])
+        assert 1 in g and 3 not in g
+
+    def test_subgraph_edges(self):
+        g = AdjacencyGraph([(1, 2), (2, 3), (3, 4)])
+        assert sorted(g.subgraph_edges({1, 2, 3})) == [(1, 2), (2, 3)]
+
+    def test_connected_components(self):
+        g = AdjacencyGraph([(1, 2), (3, 4)])
+        g.add_vertex(5)
+        components = sorted(map(sorted, g.connected_components()))
+        assert components == [[1, 2], [3, 4], [5]]
+
+    def test_copy_is_independent(self):
+        g = AdjacencyGraph([(1, 2)])
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert g.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_repr(self):
+        assert "num_vertices=2" in repr(AdjacencyGraph([(1, 2)]))

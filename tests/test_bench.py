@@ -1,0 +1,113 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    ThroughputResult,
+    format_value,
+    load_results,
+    measure_allocations,
+    measure_throughput,
+    render_series,
+    render_table,
+    repeat,
+    save_results,
+    sweep,
+)
+from repro.core import ClustererConfig, StreamingGraphClusterer
+from repro.streams import add_edge
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 100000}]
+        text = render_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table([], title="x")
+
+    def test_render_series(self):
+        text = render_series("s", [1, 2], {"f1": [0.9, 0.95], "nmi": [0.8, 0.85]})
+        assert "f1" in text and "nmi" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_value(self):
+        assert format_value(0.5) == "0.500"
+        assert format_value(12345.6) == "12,346"
+        assert format_value(1e-6) == "1.00e-06"
+        assert format_value(123456) == "123,456"
+        assert format_value("plain") == "plain"
+        assert format_value(0.0) == "0"
+        assert format_value(True) == "True"
+
+
+class TestHarness:
+    def test_experiment_result_rows(self):
+        result = ExperimentResult("e0", "demo")
+        result.add_row(x=1, y=2)
+        assert result.rows == [{"x": 1, "y": 2}]
+        assert result.as_dict()["experiment"] == "e0"
+
+    def test_save_and_load(self, tmp_path):
+        result = ExperimentResult("e_test", "demo", metadata={"seed": 1})
+        result.add_row(x=1)
+        path = save_results(result, tmp_path)
+        assert path.exists()
+        loaded = load_results("e_test", tmp_path)
+        assert loaded.rows == [{"x": 1}]
+        assert loaded.metadata == {"seed": 1}
+
+    def test_repeat_statistics(self):
+        stats = repeat(lambda seed: float(seed), repetitions=3, seeds=[1, 2, 3])
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["min"] == 1.0 and stats["max"] == 3.0
+        assert stats["stdev"] == pytest.approx(1.0)
+
+    def test_repeat_single(self):
+        stats = repeat(lambda seed: 5.0, repetitions=1)
+        assert stats["stdev"] == 0.0
+
+    def test_repeat_validation(self):
+        with pytest.raises(ValueError):
+            repeat(lambda s: 0.0, repetitions=0)
+        with pytest.raises(ValueError):
+            repeat(lambda s: 0.0, repetitions=3, seeds=[1])
+
+    def test_sweep(self):
+        rows = sweep([1, 2, 3], lambda x: {"x": x, "sq": x * x})
+        assert rows[2] == {"x": 3, "sq": 9}
+
+
+class TestThroughput:
+    def test_measures_clusterer(self):
+        clusterer = StreamingGraphClusterer(ClustererConfig(reservoir_capacity=10))
+        events = [add_edge(i, i + 1) for i in range(500)]
+        result = measure_throughput(clusterer, events)
+        assert result.events == 500
+        assert result.events_per_second > 0
+        assert result.microseconds_per_event > 0
+
+    def test_zero_events(self):
+        result = ThroughputResult(events=0, seconds=0.0)
+        assert result.microseconds_per_event == 0.0
+
+
+class TestMemory:
+    def test_measures_retained_state(self):
+        def build():
+            return list(range(100000))
+
+        data, measurement = measure_allocations(build)
+        assert len(data) == 100000
+        assert measurement.net_bytes > 100000  # a list of ints is bigger
+        assert measurement.peak_bytes >= measurement.net_bytes
+        assert measurement.net_mib > 0
+
+    def test_small_build(self):
+        _, measurement = measure_allocations(lambda: None)
+        assert measurement.net_bytes >= 0

@@ -1,0 +1,73 @@
+"""Unit tests for the consolidated experiment report."""
+
+import pytest
+
+from repro.bench import ExperimentResult, save_results
+from repro.bench.report import (
+    consolidated_report,
+    discover_experiments,
+    headline_summary,
+    main,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    e4 = ExperimentResult("e4_throughput", "throughput", metadata={"headline_gap": 40235.2})
+    e4.add_row(algorithm="streaming", events_per_sec=26555)
+    save_results(e4, tmp_path)
+    e7 = ExperimentResult("e7_parallel", "sharding")
+    e7.add_row(shards=1, speedup_on_w_cores=1.0)
+    e7.add_row(shards=8, speedup_on_w_cores=7.83)
+    save_results(e7, tmp_path)
+    e8 = ExperimentResult("e8_constraints", "constraints")
+    e8.add_row(constraint="unconstrained", nmi=0.28)
+    e8.add_row(constraint="MaxClusterSize(30)", nmi=0.83)
+    save_results(e8, tmp_path)
+    return tmp_path
+
+
+class TestDiscovery:
+    def test_lists_records_sorted(self, results_dir):
+        assert discover_experiments(results_dir) == [
+            "e4_throughput", "e7_parallel", "e8_constraints",
+        ]
+
+    def test_missing_directory(self, tmp_path):
+        assert discover_experiments(tmp_path / "nope") == []
+
+
+class TestReport:
+    def test_contains_all_sections(self, results_dir):
+        report = consolidated_report(results_dir)
+        assert "e4_throughput: throughput" in report
+        assert "e7_parallel" in report
+        assert "metadata: headline_gap=40235.2" in report
+
+    def test_empty_directory_message(self, tmp_path):
+        assert "no experiment records" in consolidated_report(tmp_path)
+
+    def test_main_prints(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "headlines:" in out
+        assert "throughput_gap=40235" in out
+
+
+class TestHeadlines:
+    def test_extracts_all_available(self, results_dir):
+        summary = headline_summary(results_dir)
+        assert summary["throughput_gap"] == 40235
+        assert summary["streaming_events_per_sec"] == 26555
+        assert summary["shard_balance_8"] == 7.83
+        assert summary["best_constrained_nmi"] == 0.83
+
+    def test_partial_results(self, tmp_path):
+        e7 = ExperimentResult("e7_parallel", "sharding")
+        e7.add_row(shards=8, speedup_on_w_cores=7.5)
+        save_results(e7, tmp_path)
+        summary = headline_summary(tmp_path)
+        assert summary == {"shard_balance_8": 7.5}
+
+    def test_no_results(self, tmp_path):
+        assert headline_summary(tmp_path) == {}

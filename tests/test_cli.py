@@ -1,0 +1,127 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def workload(tmp_path):
+    edges = tmp_path / "graph.edges"
+    truth = tmp_path / "truth.labels"
+    code = main([
+        "generate", "--sbm", "120", "4", "0.3", "0.002",
+        "--seed", "5", "--out", str(edges), "--truth-out", str(truth),
+    ])
+    assert code == 0
+    return edges, truth
+
+
+class TestGenerate:
+    def test_sbm_files_written(self, workload):
+        edges, truth = workload
+        assert edges.exists() and truth.exists()
+        assert len(edges.read_text().splitlines()) > 100
+        assert len(truth.read_text().splitlines()) == 120
+
+    def test_lfr(self, tmp_path):
+        out = tmp_path / "lfr.edges"
+        assert main(["generate", "--lfr", "300", "0.1", "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_rmat_has_no_truth(self, tmp_path, capsys):
+        out = tmp_path / "rmat.edges"
+        truth = tmp_path / "rmat.labels"
+        code = main([
+            "generate", "--rmat", "7", "300",
+            "--out", str(out), "--truth-out", str(truth),
+        ])
+        assert code == 0
+        assert not truth.exists()
+        assert "no ground truth" in capsys.readouterr().err
+
+    def test_dataset(self, tmp_path):
+        out = tmp_path / "karate.edges"
+        assert main(["generate", "--dataset", "karate", "--out", str(out)]) == 0
+        assert len(out.read_text().splitlines()) == 78
+
+
+class TestCluster:
+    def test_cluster_writes_labels(self, workload, tmp_path, capsys):
+        edges, _ = workload
+        labels = tmp_path / "found.labels"
+        code = main([
+            "cluster", str(edges), "--capacity", "2000",
+            "--max-cluster-size", "40", "--out", str(labels), "--seed", "5",
+        ])
+        assert code == 0
+        lines = labels.read_text().splitlines()
+        assert len(lines) == 120
+        assert "clusters" in capsys.readouterr().err
+
+    def test_cluster_to_stdout(self, workload, capsys):
+        edges, _ = workload
+        assert main(["cluster", str(edges), "--capacity", "50"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) == 120
+
+    def test_event_stream_input(self, tmp_path):
+        stream = tmp_path / "stream.events"
+        stream.write_text("+ 1 2\n+ 2 3\n- 1 2\n")
+        labels = tmp_path / "labels"
+        code = main([
+            "cluster", str(stream), "--events",
+            "--capacity", "10", "--out", str(labels),
+        ])
+        assert code == 0
+        assert len(labels.read_text().splitlines()) == 3
+
+    def test_lean_and_backend_flags(self, workload, tmp_path):
+        edges, _ = workload
+        labels = tmp_path / "lean.labels"
+        code = main([
+            "cluster", str(edges), "--capacity", "100",
+            "--lean", "--backend", "lazy", "--out", str(labels),
+        ])
+        assert code == 0
+
+    def test_min_size_folding(self, workload, tmp_path):
+        edges, _ = workload
+        a, b = tmp_path / "a", tmp_path / "b"
+        main(["cluster", str(edges), "--capacity", "200", "--out", str(a), "--seed", "1"])
+        main(["cluster", str(edges), "--capacity", "200", "--out", str(b),
+              "--seed", "1", "--min-size", "5"])
+        labels_a = {line.split("\t")[1] for line in a.read_text().splitlines()}
+        labels_b = {line.split("\t")[1] for line in b.read_text().splitlines()}
+        assert len(labels_b) <= len(labels_a)
+
+
+class TestScore:
+    def test_full_scoring(self, workload, tmp_path, capsys):
+        edges, truth = workload
+        labels = tmp_path / "found.labels"
+        main([
+            "cluster", str(edges), "--capacity", "2000",
+            "--max-cluster-size", "40", "--out", str(labels), "--seed", "5",
+        ])
+        capsys.readouterr()
+        code = main([
+            "score", str(labels), "--graph", str(edges), "--truth", str(truth),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        for metric in ("modularity", "avg_conductance", "nmi", "ari", "pairwise_f1"):
+            assert metric in output
+
+    def test_perfect_score_against_itself(self, workload, capsys):
+        _, truth = workload
+        assert main(["score", str(truth), "--truth", str(truth)]) == 0
+        output = capsys.readouterr().out
+        assert "nmi: 1.0000" in output
+        assert "ari: 1.0000" in output
+
+    def test_malformed_labels_rejected(self, tmp_path):
+        bad = tmp_path / "bad.labels"
+        bad.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="expected"):
+            main(["score", str(bad)])

@@ -1,0 +1,54 @@
+"""Unit tests for ClustererConfig validation."""
+
+import pytest
+
+from repro.core import ClustererConfig, DeletionPolicy, MaxClusterSize
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = ClustererConfig(reservoir_capacity=100)
+        assert config.connectivity_backend == "hdt"
+        assert config.track_graph is True
+        assert config.deletion_policy is DeletionPolicy.RANDOM_PAIRING
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ClustererConfig(reservoir_capacity=0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="connectivity_backend"):
+            ClustererConfig(reservoir_capacity=10, connectivity_backend="magic")
+
+    def test_constraint_type_checked(self):
+        with pytest.raises(TypeError, match="ConstraintPolicy"):
+            ClustererConfig(reservoir_capacity=10, constraint="max_size_5")
+
+    def test_deletion_policy_type_checked(self):
+        with pytest.raises(TypeError, match="DeletionPolicy"):
+            ClustererConfig(reservoir_capacity=10, deletion_policy="resample")
+
+    def test_resample_requires_tracking(self):
+        with pytest.raises(ValueError, match="track_graph"):
+            ClustererConfig(
+                reservoir_capacity=10,
+                deletion_policy=DeletionPolicy.RESAMPLE,
+                track_graph=False,
+                strict=False,
+            )
+
+    def test_strict_requires_tracking(self):
+        with pytest.raises(ValueError, match="strict"):
+            ClustererConfig(reservoir_capacity=10, track_graph=False)
+
+    def test_lean_mode_is_expressible(self):
+        config = ClustererConfig(reservoir_capacity=10, track_graph=False, strict=False)
+        assert config.track_graph is False
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            ClustererConfig(reservoir_capacity=10, resample_threshold=1.5)
+
+    def test_constraint_instance_accepted(self):
+        config = ClustererConfig(reservoir_capacity=10, constraint=MaxClusterSize(5))
+        assert config.constraint.limit == 5

@@ -1,0 +1,83 @@
+"""Unit tests for CSR snapshots and representation conversions."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    AdjacencyGraph,
+    CSRGraph,
+    adjacency_to_csr,
+    csr_to_adjacency,
+    events_to_edge_list,
+    graph_from_events,
+)
+from repro.streams import add_edge, add_vertex, delete_edge, delete_vertex
+
+
+class TestCSRGraph:
+    def test_from_edges_shape(self):
+        csr = CSRGraph.from_edges([(10, 20), (20, 30)])
+        assert csr.num_vertices == 3
+        assert csr.num_edges == 2
+        assert csr.ids == [10, 20, 30]
+
+    def test_neighbors_and_degrees(self):
+        csr = CSRGraph.from_edges([(1, 2), (1, 3), (2, 3)])
+        i1 = csr.index_of[1]
+        assert csr.degree(i1) == 2
+        assert sorted(csr.ids[j] for j in csr.neighbors(i1)) == [2, 3]
+        assert list(csr.degrees()) == [2, 2, 2]
+
+    def test_isolated_vertices_included(self):
+        csr = CSRGraph.from_edges([(1, 2)], vertices=[1, 2, 99])
+        assert csr.num_vertices == 3
+        assert csr.degree(csr.index_of[99]) == 0
+
+    def test_edges_iteration(self):
+        csr = CSRGraph.from_edges([(1, 2), (2, 3)])
+        pairs = sorted((csr.ids[u], csr.ids[v]) for u, v in csr.edges())
+        assert pairs == [(1, 2), (2, 3)]
+
+    def test_to_scipy_symmetric(self):
+        csr = CSRGraph.from_edges([(0, 1), (1, 2)])
+        matrix = csr.to_scipy()
+        assert (matrix != matrix.T).nnz == 0
+        assert matrix.sum() == 4  # 2 edges * 2 directions
+
+    def test_invalid_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.zeros(3, dtype=np.int64), np.zeros(0, dtype=np.int64), [1])
+
+    def test_string_ids(self):
+        csr = CSRGraph.from_edges([("b", "a")])
+        assert csr.ids == ["a", "b"]
+
+
+class TestConversions:
+    def test_adjacency_roundtrip(self):
+        graph = AdjacencyGraph([(1, 2), (2, 3)])
+        graph.add_vertex(9)
+        back = csr_to_adjacency(adjacency_to_csr(graph))
+        assert sorted(back.edges()) == sorted(graph.edges())
+        assert back.has_vertex(9)
+
+    def test_graph_from_events_replays_deletions(self):
+        events = [
+            add_edge(1, 2),
+            add_edge(2, 3),
+            delete_edge(1, 2),
+            add_vertex(7),
+            delete_vertex(3),
+        ]
+        graph = graph_from_events(events)
+        assert graph.num_edges == 0
+        assert sorted(graph.vertices()) == [1, 2, 7]
+
+    def test_graph_from_events_idempotent_on_malformed(self):
+        events = [add_edge(1, 2), add_edge(1, 2), delete_edge(5, 6)]
+        graph = graph_from_events(events)
+        assert graph.num_edges == 1
+
+    def test_events_to_edge_list(self):
+        events = [add_edge(1, 2), add_edge(3, 4), delete_edge(3, 4)]
+        assert events_to_edge_list(events) == [(1, 2)]

@@ -1,0 +1,82 @@
+"""Unit tests for fixtures and the dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    barbell,
+    dataset_names,
+    dataset_statistics,
+    karate_club,
+    load_dataset,
+    two_triangles,
+)
+from repro.graph import AdjacencyGraph
+
+
+class TestFixtures:
+    def test_karate_shape(self):
+        edges, truth = karate_club()
+        assert len(edges) == 78
+        assert truth.num_vertices == 34
+        assert truth.num_clusters == 2
+        graph = AdjacencyGraph(edges)
+        assert graph.num_vertices == 34
+        assert graph.degree(33) == 17  # the instructor hub
+
+    def test_two_triangles(self):
+        edges, truth = two_triangles(bridge=True)
+        assert len(edges) == 7
+        edges_nb, _ = two_triangles(bridge=False)
+        assert len(edges_nb) == 6
+        assert truth.num_clusters == 2
+
+    def test_barbell(self):
+        edges, truth = barbell(clique_size=4, path_length=2)
+        graph = AdjacencyGraph(edges)
+        assert graph.num_vertices == 10
+        assert truth.num_clusters == 3
+        with pytest.raises(ValueError):
+            barbell(clique_size=1)
+
+
+class TestRegistry:
+    def test_names(self):
+        names = dataset_names()
+        assert "karate" in names
+        assert "dblp_like" in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("no_such_graph")
+
+    def test_load_karate_exact(self):
+        dataset = load_dataset("karate", use_cache=False)
+        assert dataset.num_edges == 78
+        assert dataset.truth is not None
+
+    def test_generation_deterministic(self):
+        a = load_dataset("email_like", seed=3, use_cache=False)
+        b = load_dataset("email_like", seed=3, use_cache=False)
+        assert a.edges == b.edges
+
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        fresh = load_dataset("email_like", seed=4, use_cache=True)
+        cached = load_dataset("email_like", seed=4, use_cache=True)
+        assert sorted(cached.edges) == sorted(fresh.edges)
+        assert cached.truth == fresh.truth
+        assert (tmp_path / "cache").exists()
+
+    def test_statistics_fields(self):
+        dataset = load_dataset("karate", use_cache=False)
+        stats = dataset_statistics(dataset)
+        assert stats["vertices"] == 34
+        assert stats["edges"] == 78
+        assert stats["communities"] == 2
+        assert 0 <= stats["mixing"] <= 1
+
+    def test_statistics_without_truth(self):
+        dataset = Dataset(name="raw", description="", edges=[(1, 2)], truth=None)
+        stats = dataset_statistics(dataset)
+        assert stats["communities"] == "-"

@@ -1,0 +1,23 @@
+"""Every docstring example in the library must execute correctly."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _all_modules())
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    failures, _ = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert failures == 0, f"{failures} doctest failure(s) in {name}"

@@ -1,0 +1,165 @@
+"""Unit tests for Euler-tour trees."""
+
+import random
+
+import pytest
+
+from repro.connectivity.ett import EulerTourForest
+
+
+class TestBasicStructure:
+    def test_singleton_vertices(self):
+        f = EulerTourForest()
+        f.add_vertex(1)
+        f.add_vertex(2)
+        assert f.connected(1, 1)
+        assert not f.connected(1, 2)
+        assert f.component_size(1) == 1
+
+    def test_unknown_vertices_are_singletons(self):
+        f = EulerTourForest()
+        assert f.connected("x", "x")
+        assert not f.connected("x", "y")
+        assert f.component_size("x") == 1
+        assert f.component_members("x") == {"x"}
+
+    def test_link_connects(self):
+        f = EulerTourForest()
+        f.link(1, 2)
+        assert f.connected(1, 2)
+        assert f.component_size(1) == 2
+
+    def test_link_already_connected_raises(self):
+        f = EulerTourForest()
+        f.link(1, 2)
+        f.link(2, 3)
+        with pytest.raises(ValueError, match="already connected"):
+            f.link(1, 3)
+
+    def test_link_self_loop_raises(self):
+        f = EulerTourForest()
+        with pytest.raises(ValueError):
+            f.link(1, 1)
+
+    def test_cut_splits(self):
+        f = EulerTourForest()
+        f.link(1, 2)
+        f.link(2, 3)
+        f.cut(1, 2)
+        assert not f.connected(1, 2)
+        assert f.connected(2, 3)
+        assert f.component_size(1) == 1
+        assert f.component_size(3) == 2
+
+    def test_cut_absent_edge_raises(self):
+        f = EulerTourForest()
+        f.link(1, 2)
+        with pytest.raises(KeyError):
+            f.cut(1, 3)
+
+    def test_tour_length_invariant(self):
+        # A tree with n vertices and n-1 edges has tour length n + 2(n-1).
+        f = EulerTourForest()
+        for i in range(7):
+            f.link(i, i + 1)
+        assert len(f.tour(0)) == 8 + 2 * 7
+
+    def test_component_members_and_iteration(self):
+        f = EulerTourForest()
+        f.link(1, 2)
+        f.link(1, 3)
+        assert f.component_members(3) == {1, 2, 3}
+        assert set(f.iter_component_vertices(2)) == {1, 2, 3}
+
+    def test_component_id_stability(self):
+        f = EulerTourForest()
+        f.link(1, 2)
+        assert f.component_id(1) == f.component_id(2)
+        assert f.component_id(1) != f.component_id(99)
+
+    def test_remove_isolated_vertex(self):
+        f = EulerTourForest()
+        f.add_vertex(1)
+        f.link(2, 3)
+        assert f.remove_isolated_vertex(1)
+        assert not f.remove_isolated_vertex(2)  # still linked
+        assert not f.remove_isolated_vertex(1)  # already gone
+        assert 1 not in f
+
+
+class TestMarks:
+    def _path(self, n):
+        f = EulerTourForest()
+        for i in range(n - 1):
+            f.link(i, i + 1)
+        return f
+
+    def test_vertex_mark_roundtrip(self):
+        f = self._path(10)
+        assert f.find_marked_vertex(0) is None
+        f.set_vertex_mark(6, True)
+        assert f.find_marked_vertex(3) == 6
+        f.set_vertex_mark(6, False)
+        assert f.find_marked_vertex(3) is None
+
+    def test_vertex_mark_survives_restructuring(self):
+        f = self._path(10)
+        f.set_vertex_mark(4, True)
+        f.cut(7, 8)
+        assert f.find_marked_vertex(0) == 4
+        assert f.find_marked_vertex(9) is None
+        f.link(0, 9)
+        assert f.find_marked_vertex(9) == 4
+
+    def test_edge_mark_roundtrip(self):
+        f = self._path(6)
+        f.set_edge_mark(2, 3, True)
+        assert f.find_marked_edge(5) == (2, 3)
+        f.set_edge_mark(2, 3, False)
+        assert f.find_marked_edge(5) is None
+
+    def test_multiple_marks_found_one_at_a_time(self):
+        f = self._path(8)
+        for v in (1, 4, 6):
+            f.set_vertex_mark(v, True)
+        found = set()
+        while True:
+            v = f.find_marked_vertex(0)
+            if v is None:
+                break
+            found.add(v)
+            f.set_vertex_mark(v, False)
+        assert found == {1, 4, 6}
+
+    def test_unknown_vertex_mark_queries(self):
+        f = EulerTourForest()
+        assert f.find_marked_vertex("nope") is None
+        assert f.find_marked_edge("nope") is None
+
+
+class TestRandomizedAgainstOracle:
+    def test_matches_networkx_forest(self):
+        nx = pytest.importorskip("networkx")
+        rng = random.Random(99)
+        f = EulerTourForest(seed=5)
+        G = nx.Graph()
+        nodes = list(range(40))
+        for v in nodes:
+            f.add_vertex(v)
+            G.add_node(v)
+        tree_edges = set()
+        for _ in range(3000):
+            u, v = rng.sample(nodes, 2)
+            if not f.connected(u, v):
+                f.link(u, v)
+                G.add_edge(u, v)
+                tree_edges.add((u, v))
+            elif tree_edges and rng.random() < 0.5:
+                edge = rng.choice(sorted(tree_edges))
+                tree_edges.discard(edge)
+                f.cut(*edge)
+                G.remove_edge(*edge)
+            a, b = rng.sample(nodes, 2)
+            assert f.connected(a, b) == nx.has_path(G, a, b)
+            c = rng.choice(nodes)
+            assert f.component_size(c) == len(nx.node_connected_component(G, c))

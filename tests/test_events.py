@@ -1,0 +1,82 @@
+"""Unit tests for the stream event model."""
+
+import pytest
+
+from repro.streams.events import (
+    EdgeEvent,
+    EventKind,
+    add_edge,
+    add_vertex,
+    canonical_edge,
+    count_kinds,
+    delete_edge,
+    delete_vertex,
+    events_from_edges,
+)
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(2, 1) == (1, 2)
+        assert canonical_edge(1, 2) == (1, 2)
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            canonical_edge(3, 3)
+
+    def test_string_vertices(self):
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_mixed_types_fall_back_to_repr_order(self):
+        edge = canonical_edge("x", 1)
+        assert set(edge) == {"x", 1}
+        assert canonical_edge(1, "x") == edge
+
+
+class TestEdgeEvent:
+    def test_add_edge_canonicalizes(self):
+        event = add_edge(5, 2)
+        assert (event.u, event.v) == (2, 5)
+        assert event.edge == (2, 5)
+        assert event.is_edge_event
+
+    def test_delete_edge(self):
+        event = delete_edge(9, 4)
+        assert event.kind is EventKind.DELETE_EDGE
+        assert event.edge == (4, 9)
+
+    def test_vertex_events_have_no_edge(self):
+        event = add_vertex(7)
+        assert not event.is_edge_event
+        with pytest.raises(ValueError):
+            _ = event.edge
+
+    def test_edge_event_requires_two_endpoints(self):
+        with pytest.raises(ValueError, match="two endpoints"):
+            EdgeEvent(EventKind.ADD_EDGE, 1, None)
+
+    def test_vertex_event_rejects_second_endpoint(self):
+        with pytest.raises(ValueError, match="single vertex"):
+            EdgeEvent(EventKind.ADD_VERTEX, 1, 2)
+
+    def test_events_are_hashable_and_equal(self):
+        assert add_edge(1, 2) == add_edge(2, 1)
+        assert len({add_edge(1, 2), add_edge(2, 1), delete_edge(1, 2)}) == 2
+
+    def test_delete_vertex_kind(self):
+        assert delete_vertex(3).kind is EventKind.DELETE_VERTEX
+
+
+class TestHelpers:
+    def test_events_from_edges(self):
+        events = list(events_from_edges([(1, 2), (3, 4)]))
+        assert all(e.kind is EventKind.ADD_EDGE for e in events)
+        assert [e.edge for e in events] == [(1, 2), (3, 4)]
+
+    def test_count_kinds(self):
+        events = [add_edge(1, 2), delete_edge(1, 2), add_vertex(3)]
+        counts = count_kinds(events)
+        assert counts[EventKind.ADD_EDGE] == 1
+        assert counts[EventKind.DELETE_EDGE] == 1
+        assert counts[EventKind.ADD_VERTEX] == 1
+        assert counts[EventKind.DELETE_VERTEX] == 0

@@ -1,0 +1,45 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+The slowest example (parallel_throughput) is exercised by benchmark E4
+instead; the rest run here so a refactor cannot silently break them.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str) -> None:
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "community_drift_tracking.py",
+        "interaction_window_monitoring.py",
+        "multiresolution_tracking.py",
+    ],
+)
+def test_example_runs(script, capsys):
+    _run_example(script)
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_examples_directory_complete():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 5

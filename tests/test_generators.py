@@ -1,0 +1,121 @@
+"""Unit tests for the stream generators."""
+
+import math
+
+import pytest
+
+from repro.graph import AdjacencyGraph, graph_from_events
+from repro.streams import (
+    EventKind,
+    count_kinds,
+    drifting_sbm_stream,
+    erdos_renyi_edges,
+    planted_partition,
+    sbm_stream,
+)
+
+
+class TestPlantedPartition:
+    def test_vertex_and_community_counts(self):
+        graph = planted_partition(100, 5, 0.3, 0.01, seed=1)
+        assert graph.num_vertices == 100
+        assert graph.truth.num_clusters == 5
+        assert all(s == 20 for s in graph.truth.sizes())
+
+    def test_no_duplicates_or_self_loops(self):
+        graph = planted_partition(80, 4, 0.4, 0.05, seed=2)
+        assert len(set(graph.edges)) == len(graph.edges)
+        assert all(u != v for u, v in graph.edges)
+
+    def test_edge_counts_near_expectation(self):
+        n, k, p_in, p_out = 400, 4, 0.2, 0.01
+        graph = planted_partition(n, k, p_in, p_out, seed=3)
+        size = n // k
+        expected_intra = k * size * (size - 1) / 2 * p_in
+        expected_inter = (k * (k - 1) / 2) * size * size * p_out
+        intra = sum(1 for u, v in graph.edges if graph.truth.same_cluster(u, v))
+        inter = graph.num_edges - intra
+        assert abs(intra - expected_intra) < 6 * math.sqrt(expected_intra)
+        assert abs(inter - expected_inter) < 6 * math.sqrt(expected_inter)
+
+    def test_determinism(self):
+        a = planted_partition(50, 2, 0.3, 0.02, seed=9)
+        b = planted_partition(50, 2, 0.3, 0.02, seed=9)
+        assert a.edges == b.edges
+
+    def test_different_seeds_differ(self):
+        a = planted_partition(50, 2, 0.3, 0.02, seed=1)
+        b = planted_partition(50, 2, 0.3, 0.02, seed=2)
+        assert a.edges != b.edges
+
+    def test_extreme_probabilities(self):
+        empty = planted_partition(20, 2, 0.0, 0.0, seed=1)
+        assert empty.num_edges == 0
+        full = planted_partition(10, 1, 1.0, 0.0, seed=1)
+        assert full.num_edges == 45
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            planted_partition(5, 10, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            planted_partition(10, 2, 1.5, 0.1)
+
+
+class TestErdosRenyi:
+    def test_density(self):
+        edges = erdos_renyi_edges(200, 0.05, seed=4)
+        expected = 200 * 199 / 2 * 0.05
+        assert abs(len(edges) - expected) < 6 * math.sqrt(expected)
+
+    def test_no_structure_needed(self):
+        assert erdos_renyi_edges(10, 0.0, seed=1) == []
+
+
+class TestSbmStream:
+    def test_stream_is_shuffled_insert_only(self):
+        events, truth = sbm_stream(60, 3, 0.3, 0.02, seed=5)
+        counts = count_kinds(events)
+        assert counts[EventKind.ADD_EDGE] == len(events)
+        graph = graph_from_events(events)
+        assert graph.num_vertices <= 60
+        assert truth.num_clusters == 3
+
+    def test_stream_order_differs_from_generation_order(self):
+        graph = planted_partition(60, 3, 0.3, 0.02, seed=5)
+        events, _ = sbm_stream(60, 3, 0.3, 0.02, seed=5)
+        assert [e.edge for e in events] != graph.edges
+
+
+class TestDriftingStream:
+    def test_phases_well_formed(self):
+        phases = drifting_sbm_stream(80, 4, 0.3, 0.01, num_phases=4, seed=6)
+        assert len(phases) == 4
+        graph = AdjacencyGraph()
+        for phase in phases:
+            for event in phase.events:
+                if event.kind is EventKind.ADD_EDGE:
+                    assert graph.add_edge(event.u, event.v), "duplicate add"
+                else:
+                    assert graph.remove_edge(event.u, event.v), "delete of absent"
+            assert phase.truth.num_vertices == 80
+
+    def test_later_phases_contain_deletions(self):
+        phases = drifting_sbm_stream(80, 4, 0.3, 0.01, num_phases=3, seed=7)
+        deletion_counts = [
+            count_kinds(phase.events)[EventKind.DELETE_EDGE] for phase in phases
+        ]
+        assert deletion_counts[0] == 0
+        assert all(count > 0 for count in deletion_counts[1:])
+
+    def test_truth_changes_between_phases(self):
+        phases = drifting_sbm_stream(80, 4, 0.3, 0.01, num_phases=2, seed=8)
+        assert phases[0].truth != phases[1].truth
+
+    def test_migration_fraction_respected(self):
+        phases = drifting_sbm_stream(
+            100, 4, 0.3, 0.01, num_phases=2, migrate_fraction=0.1, seed=9
+        )
+        before = phases[0].truth.labels()
+        after = phases[1].truth.labels()
+        moved = sum(1 for v in before if before[v] != after[v])
+        assert 1 <= moved <= 20  # 10 sampled movers; some may return by chance

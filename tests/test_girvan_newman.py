@@ -1,0 +1,68 @@
+"""Unit tests for Girvan–Newman and edge betweenness."""
+
+import pytest
+
+from repro.baselines import edge_betweenness, girvan_newman
+from repro.graph import AdjacencyGraph
+from repro.quality import modularity, nmi
+
+
+class TestEdgeBetweenness:
+    def test_path_graph_values(self):
+        # Path 0-1-2-3: middle edge carries 2*2 = 4 pair-paths.
+        graph = AdjacencyGraph([(0, 1), (1, 2), (2, 3)])
+        betweenness = edge_betweenness(graph)
+        assert betweenness[(1, 2)] == pytest.approx(4.0)
+        assert betweenness[(0, 1)] == pytest.approx(3.0)
+
+    def test_bridge_has_max_betweenness(self, triangle_graph):
+        graph, _ = triangle_graph
+        betweenness = edge_betweenness(graph)
+        assert max(betweenness, key=betweenness.get) == (2, 3)
+
+    def test_symmetric_cycle(self):
+        graph = AdjacencyGraph([(0, 1), (1, 2), (2, 3), (3, 0)])
+        values = set(round(v, 9) for v in edge_betweenness(graph).values())
+        assert len(values) == 1  # all edges equivalent by symmetry
+
+    def test_matches_networkx(self, karate_graph):
+        nx = pytest.importorskip("networkx")
+        graph, _ = karate_graph
+        ours = edge_betweenness(graph)
+        theirs = nx.edge_betweenness_centrality(
+            nx.Graph(list(graph.edges())), normalized=False
+        )
+        for (u, v), value in ours.items():
+            expected = theirs.get((u, v), theirs.get((v, u)))
+            assert value == pytest.approx(expected)
+
+
+class TestGirvanNewman:
+    def test_two_triangles(self, triangle_graph):
+        graph, truth = triangle_graph
+        assert girvan_newman(graph) == truth
+
+    def test_karate_quality(self, karate_graph):
+        graph, truth = karate_graph
+        partition = girvan_newman(graph)
+        assert modularity(graph, partition) > 0.35
+        assert nmi(partition, truth) > 0.3
+
+    def test_max_removals_caps_work(self, karate_graph):
+        graph, _ = karate_graph
+        partition = girvan_newman(graph, max_removals=3)
+        assert partition.num_vertices == 34
+
+    def test_disconnected_input(self):
+        graph = AdjacencyGraph([(0, 1), (2, 3)])
+        partition = girvan_newman(graph)
+        assert partition.num_clusters == 2
+
+    def test_empty_graph(self):
+        assert girvan_newman(AdjacencyGraph()).num_clusters == 0
+
+    def test_does_not_mutate_input(self, triangle_graph):
+        graph, _ = triangle_graph
+        edges_before = sorted(graph.edges())
+        girvan_newman(graph)
+        assert sorted(graph.edges()) == edges_before

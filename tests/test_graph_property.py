@@ -1,0 +1,103 @@
+"""Property-based tests: AdjacencyGraph and CSR against networkx oracles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import AdjacencyGraph, CSRGraph
+
+nx = pytest.importorskip("networkx")
+
+# Random operation sequences over a small vertex universe: positive pair
+# = toggle edge, single negative int = remove that vertex.
+_pairs = st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+    lambda p: p[0] != p[1]
+)
+_ops = st.lists(
+    st.one_of(_pairs, st.integers(-10, -1)), min_size=1, max_size=80
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=_ops)
+def test_adjacency_matches_networkx(ops):
+    ours = AdjacencyGraph()
+    theirs = nx.Graph()
+    for op in ops:
+        if isinstance(op, tuple):
+            u, v = op
+            if ours.has_edge(u, v):
+                ours.remove_edge(u, v)
+                theirs.remove_edge(u, v)
+            else:
+                ours.add_edge(u, v)
+                theirs.add_edge(u, v)
+        else:
+            vertex = -op - 1
+            ours.remove_vertex(vertex)
+            if theirs.has_node(vertex):
+                theirs.remove_node(vertex)
+        assert ours.num_edges == theirs.number_of_edges()
+        assert ours.num_vertices == theirs.number_of_nodes()
+    assert sorted(map(tuple, map(sorted, ours.edges()))) == sorted(
+        map(tuple, map(sorted, theirs.edges()))
+    )
+    our_components = sorted(tuple(sorted(c)) for c in ours.connected_components())
+    their_components = sorted(
+        tuple(sorted(c)) for c in nx.connected_components(theirs)
+    )
+    assert our_components == their_components
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    edges=st.sets(_pairs, min_size=0, max_size=30),
+    isolated=st.sets(st.integers(10, 14), max_size=3),
+)
+def test_csr_roundtrip_preserves_structure(edges, isolated):
+    graph = AdjacencyGraph(edges)
+    for v in isolated:
+        graph.add_vertex(v)
+    csr = CSRGraph.from_adjacency(graph)
+    assert csr.num_vertices == graph.num_vertices
+    assert csr.num_edges == graph.num_edges
+    # Degrees agree vertex by vertex.
+    for v in graph.vertices():
+        assert csr.degree(csr.index_of[v]) == graph.degree(v)
+    # CSR edge iteration reproduces the canonical edge set.
+    csr_edges = {
+        tuple(sorted((csr.ids[u], csr.ids[v]))) for u, v in csr.edges()
+    }
+    assert csr_edges == {tuple(sorted(e)) for e in graph.edges()}
+    # scipy view is symmetric with the right mass.
+    matrix = csr.to_scipy()
+    assert (matrix != matrix.T).nnz == 0
+    assert matrix.sum() == 2 * graph.num_edges
+
+
+@settings(max_examples=80, deadline=None)
+@given(edges=st.sets(_pairs, min_size=1, max_size=30), seed=st.integers(0, 100))
+def test_louvain_never_worse_than_singletons(edges, seed):
+    from repro.baselines import louvain
+    from repro.quality import Partition, modularity
+
+    graph = AdjacencyGraph(edges)
+    partition = louvain(graph, seed=seed)
+    singles = Partition.singletons(graph.vertices())
+    assert modularity(graph, partition) >= modularity(graph, singles) - 1e-12
+    # Louvain output covers exactly the graph's vertices.
+    assert set(partition.vertices()) == set(graph.vertices())
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=st.sets(_pairs, min_size=1, max_size=25))
+def test_offline_baselines_return_total_partitions(edges):
+    from repro.baselines import connected_components, label_propagation, mcl
+
+    graph = AdjacencyGraph(edges)
+    for algorithm in (label_propagation, mcl, connected_components):
+        partition = algorithm(graph)
+        assert set(partition.vertices()) == set(graph.vertices())
+        assert sum(partition.sizes()) == graph.num_vertices

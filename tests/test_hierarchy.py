@@ -1,0 +1,83 @@
+"""Unit tests for multi-resolution clustering."""
+
+import pytest
+
+from repro.core import ClustererConfig
+from repro.core.hierarchy import MultiResolutionClusterer
+from repro.streams import insert_only_stream, planted_partition
+
+
+def make(capacity=1000, num_levels=3, ratio=4.0, seed=0):
+    return MultiResolutionClusterer(
+        ClustererConfig(reservoir_capacity=capacity, strict=False, seed=seed),
+        num_levels=num_levels,
+        ratio=ratio,
+    )
+
+
+class TestConstruction:
+    def test_geometric_capacities(self):
+        bank = make(capacity=1600, num_levels=3, ratio=4.0)
+        assert bank.capacities() == [1600, 400, 100]
+
+    def test_capacity_floor_is_one(self):
+        bank = make(capacity=4, num_levels=4, ratio=4.0)
+        assert bank.capacities()[-1] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(num_levels=0)
+        with pytest.raises(ValueError):
+            make(ratio=1.0)
+
+    def test_levels_have_independent_seeds(self):
+        bank = make(num_levels=3)
+        seeds = {level.config.seed for level in bank.levels}
+        assert len(seeds) == 3
+
+    def test_repr(self):
+        assert "levels=2" in repr(make(num_levels=2))
+
+
+class TestResolutionBehaviour:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        graph = planted_partition(200, 4, p_in=0.3, p_out=0.002, seed=55)
+        events = insert_only_stream(graph.edges, seed=55)
+        bank = make(capacity=len(events), num_levels=3, ratio=8.0, seed=5)
+        bank.process(events)
+        return bank, graph
+
+    def test_finer_levels_have_more_clusters(self, trained):
+        bank, _ = trained
+        counts = [snapshot.num_clusters for snapshot in bank.snapshots()]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_coarsest_split_level_orders_relationships(self, trained):
+        bank, graph = trained
+        # Intra-community pairs separate later (or never) compared to
+        # cross-community pairs, on average.
+        intra = [(0, 4), (1, 5), (2, 6)]  # community = v % 4
+        cross = [(0, 1), (1, 2), (2, 3)]
+
+        def score(pair):
+            level = bank.coarsest_split_level(*pair)
+            return bank.num_levels if level is None else level
+
+        assert sum(score(p) for p in intra) >= sum(score(p) for p in cross)
+
+    def test_affinity_bounds(self, trained):
+        bank, _ = trained
+        assert 0.0 <= bank.affinity(0, 1) <= 1.0
+        assert bank.affinity(0, 0) == 1.0
+
+    def test_level_snapshot_consistency(self, trained):
+        bank, _ = trained
+        for index in range(bank.num_levels):
+            snapshot = bank.snapshot(index)
+            assert snapshot.num_clusters == bank.levels[index].num_clusters
+
+    def test_unseen_vertices(self, trained):
+        bank, _ = trained
+        assert bank.coarsest_split_level("ghost1", "ghost2") == 0
+        assert bank.affinity("ghost1", "ghost2") == 0.0

@@ -1,0 +1,87 @@
+"""Unit tests for VI, normalized VI, and split-join distance."""
+
+import math
+
+import pytest
+
+from repro.quality import (
+    Partition,
+    normalized_vi,
+    split_join_distance,
+    variation_of_information,
+)
+
+
+def clusters(*groups):
+    return Partition.from_clusters([set(g) for g in groups])
+
+
+class TestVariationOfInformation:
+    def test_identical_is_zero(self):
+        p = clusters({1, 2}, {3, 4})
+        assert variation_of_information(p, p) == 0.0
+
+    def test_label_permutation_is_zero(self):
+        a = Partition({1: 0, 2: 0, 3: 1})
+        b = Partition({1: "x", 2: "x", 3: "y"})
+        assert variation_of_information(a, b) == pytest.approx(0.0)
+
+    def test_crossed_pairs_value(self):
+        # {12}{34} vs {13}{24} on 4 items: VI = 2 ln 2.
+        a = clusters({1, 2}, {3, 4})
+        b = clusters({1, 3}, {2, 4})
+        assert variation_of_information(a, b) == pytest.approx(2 * math.log(2))
+
+    def test_symmetry(self):
+        a = clusters({1, 2, 3}, {4})
+        b = clusters({1, 2}, {3, 4})
+        assert variation_of_information(a, b) == pytest.approx(
+            variation_of_information(b, a)
+        )
+
+    def test_refinement_value(self):
+        # All-in-one vs all-singletons on n items: VI = ln n.
+        n = 8
+        whole = Partition({i: 0 for i in range(n)})
+        singles = Partition.singletons(range(n))
+        assert variation_of_information(whole, singles) == pytest.approx(math.log(n))
+
+    def test_disjoint_vertex_sets(self):
+        assert variation_of_information(Partition({1: 0}), Partition({2: 0})) == 0.0
+
+
+class TestNormalizedVI:
+    def test_bounds(self):
+        whole = Partition({i: 0 for i in range(10)})
+        singles = Partition.singletons(range(10))
+        assert normalized_vi(whole, singles) == pytest.approx(1.0)
+        assert normalized_vi(whole, whole) == 0.0
+
+    def test_single_vertex(self):
+        p = Partition({1: 0})
+        assert normalized_vi(p, p) == 0.0
+
+
+class TestSplitJoin:
+    def test_identical_is_zero(self):
+        p = clusters({1, 2}, {3, 4})
+        assert split_join_distance(p, p) == 0
+
+    def test_known_value(self):
+        a = clusters({1, 2, 3, 4})
+        b = clusters({1, 2}, {3, 4})
+        # Projecting a onto b costs 2 moves; b onto a costs 0.
+        assert split_join_distance(a, b) == 2
+
+    def test_symmetry(self):
+        a = clusters({1, 2, 3}, {4, 5})
+        b = clusters({1, 2}, {3, 4, 5})
+        assert split_join_distance(a, b) == split_join_distance(b, a)
+
+    def test_upper_bound(self):
+        a = clusters({1, 2}, {3, 4})
+        b = clusters({1, 3}, {2, 4})
+        assert split_join_distance(a, b) <= 2 * (4 - 1)
+
+    def test_empty_intersection(self):
+        assert split_join_distance(Partition({1: 0}), Partition({2: 0})) == 0

@@ -1,0 +1,187 @@
+"""Integration tests: full stream → clusterer → metrics pipelines.
+
+These exercise the exact paths the benchmarks use, at reduced scale, so
+a green test suite implies the experiment harness can run.
+"""
+
+import pytest
+
+from repro.baselines import PeriodicRecomputeClusterer, connected_components, louvain
+from repro.core import (
+    ClustererConfig,
+    MaxClusterSize,
+    ShardedClusterer,
+    SlidingWindowClusterer,
+    StreamingGraphClusterer,
+)
+from repro.datasets import load_dataset
+from repro.graph import AdjacencyGraph, graph_from_events
+from repro.quality import (
+    average_conductance,
+    modularity,
+    nmi,
+    pairwise_f1,
+)
+from repro.streams import (
+    drifting_sbm_stream,
+    insert_only_stream,
+    lfr_graph,
+    planted_partition,
+    sbm_stream,
+)
+
+
+class TestQualityPipeline:
+    def test_streaming_recovers_clear_sbm_structure(self):
+        graph = planted_partition(300, 3, p_in=0.25, p_out=0.0005, seed=31)
+        events = insert_only_stream(graph.edges, seed=31)
+        clusterer = StreamingGraphClusterer(
+            ClustererConfig(reservoir_capacity=len(graph.edges) // 5, strict=False)
+        )
+        clusterer.process(events)
+        snapshot = clusterer.snapshot().merged_small_clusters(min_size=3)
+        assert nmi(snapshot, graph.truth) > 0.6
+
+    def test_quality_improves_with_reservoir_size(self):
+        graph = lfr_graph(600, mu=0.1, seed=32)
+        events = insert_only_stream(graph.edges, seed=32)
+        scores = []
+        for fraction in (0.02, 0.5):
+            clusterer = StreamingGraphClusterer(
+                ClustererConfig(
+                    reservoir_capacity=max(1, int(fraction * len(graph.edges))),
+                    strict=False,
+                    seed=1,
+                )
+            )
+            clusterer.process(events)
+            scores.append(pairwise_f1(clusterer.snapshot(), graph.truth))
+        assert scores[1] > scores[0]
+
+    def test_streaming_vs_offline_on_dataset(self):
+        # The paper's recipe on a realistic graph: reservoir + a
+        # cluster-size bound near the true maximum community size.
+        dataset = load_dataset("amazon_like")
+        events = insert_only_stream(dataset.edges, seed=33)
+        clusterer = StreamingGraphClusterer(
+            ClustererConfig(
+                reservoir_capacity=len(dataset.edges) // 3,
+                constraint=MaxClusterSize(120),
+                strict=False,
+            )
+        )
+        clusterer.process(events)
+        graph = AdjacencyGraph(dataset.edges)
+        streaming_quality = nmi(clusterer.snapshot(), dataset.truth)
+        offline_quality = nmi(louvain(graph, seed=1), dataset.truth)
+        assert streaming_quality > 0.6
+        assert offline_quality > streaming_quality * 0.5  # sanity on the baseline
+
+    def test_unconstrained_oversampling_collapses(self):
+        """Documents *why* the constraints exist: at high sampling rates
+        on a mixed graph the sampled components merge into one giant
+        cluster, and the size bound prevents exactly that."""
+        dataset = load_dataset("email_like")
+        events = insert_only_stream(dataset.edges, seed=33)
+        free = StreamingGraphClusterer(
+            ClustererConfig(reservoir_capacity=len(dataset.edges) // 3, strict=False)
+        ).process(events)
+        bounded = StreamingGraphClusterer(
+            ClustererConfig(
+                reservoir_capacity=len(dataset.edges) // 3,
+                constraint=MaxClusterSize(150),
+                strict=False,
+            )
+        ).process(events)
+        assert free.snapshot().max_cluster_size > 900  # giant component
+        assert bounded.snapshot().max_cluster_size <= 150
+        assert nmi(bounded.snapshot(), dataset.truth) > nmi(
+            free.snapshot(), dataset.truth
+        )
+
+    def test_metrics_on_streaming_snapshot(self):
+        events, truth = sbm_stream(200, 4, 0.3, 0.002, seed=34)
+        clusterer = StreamingGraphClusterer(
+            ClustererConfig(reservoir_capacity=150, strict=False)
+        ).process(events)
+        graph = graph_from_events(events)
+        snapshot = clusterer.snapshot()
+        assert modularity(graph, snapshot) > 0.2
+        # Conductance over all tiny fragments is high; the *large*
+        # clusters (the recovered communities) must be well separated.
+        assert 0 <= average_conductance(graph, snapshot, min_size=20) < 0.5
+
+
+class TestThroughputPipeline:
+    def test_streaming_is_much_faster_than_periodic_louvain(self):
+        # The gap opens with graph size: the recompute baseline pays
+        # O(m) per interval while streaming pays O(polylog) per event.
+        from repro.bench import measure_throughput
+
+        graph = planted_partition(2000, 4, p_in=0.02, p_out=0.0005, seed=35)
+        events = insert_only_stream(graph.edges, seed=35)
+        streaming = StreamingGraphClusterer(
+            ClustererConfig(reservoir_capacity=1000, strict=False)
+        )
+        offline = PeriodicRecomputeClusterer(louvain, interval=1000)
+        fast = measure_throughput(streaming, events)
+        slow = measure_throughput(offline, events)
+        assert fast.events_per_second > 3 * slow.events_per_second
+
+
+class TestChurnPipeline:
+    def test_window_tracks_drift(self):
+        phases = drifting_sbm_stream(
+            100, 4, 0.35, 0.002, num_phases=3, migrate_fraction=0.3, seed=36
+        )
+        clusterer = StreamingGraphClusterer(
+            ClustererConfig(reservoir_capacity=600, strict=False)
+        )
+        scores = []
+        for phase in phases:
+            clusterer.process(phase.events)
+            snapshot = clusterer.snapshot().merged_small_clusters(min_size=3)
+            scores.append(pairwise_f1(snapshot, phase.truth))
+        # Quality should hold up (not collapse) as communities drift.
+        assert all(score > 0.35 for score in scores)
+
+    def test_sliding_window_end_to_end(self):
+        events, _ = sbm_stream(150, 3, 0.3, 0.01, seed=37)
+        window = SlidingWindowClusterer(
+            ClustererConfig(reservoir_capacity=300), window=400
+        )
+        window.process(events)
+        assert window.inner.stats.edge_deletes > 0  # expiry really ran
+        assert window.num_live_edges <= 400
+
+
+class TestShardedPipeline:
+    def test_sharded_quality_comparable_to_single(self):
+        graph = planted_partition(240, 4, p_in=0.3, p_out=0.001, seed=38)
+        events = insert_only_stream(graph.edges, seed=38)
+        single = StreamingGraphClusterer(
+            ClustererConfig(reservoir_capacity=800, strict=False)
+        ).process(events)
+        sharded = ShardedClusterer(
+            ClustererConfig(reservoir_capacity=800, strict=False), num_shards=4
+        ).process(events)
+        single_score = pairwise_f1(single.snapshot(), graph.truth)
+        sharded_score = pairwise_f1(sharded.snapshot(), graph.truth)
+        assert sharded_score > 0.5 * single_score
+
+    def test_constraint_respected_per_shard_and_at_merge(self):
+        """Shards enforce constraints locally, and the merge re-enforces
+        them: the union of innocent shard-local clusters must not exceed
+        the global bound either."""
+        graph = planted_partition(100, 1, p_in=0.3, p_out=0.0, seed=39)
+        sharded = ShardedClusterer(
+            ClustererConfig(
+                reservoir_capacity=400,
+                constraint=MaxClusterSize(10),
+                strict=False,
+            ),
+            num_shards=2,
+        ).process(insert_only_stream(graph.edges, seed=39))
+        for shard in sharded.shards:
+            assert shard.snapshot().max_cluster_size <= 10
+        assert sharded.snapshot().max_cluster_size <= 10

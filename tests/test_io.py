@@ -1,0 +1,81 @@
+"""Unit tests for edge-list and event-stream I/O."""
+
+import io
+
+import pytest
+
+from repro.streams import (
+    add_edge,
+    add_vertex,
+    delete_edge,
+    delete_vertex,
+    read_edge_list,
+    read_event_stream,
+    write_edge_list,
+    write_event_stream,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip_via_path(self, tmp_path):
+        edges = [(1, 2), (3, 4), ("a", "b")]
+        path = tmp_path / "graph.edges"
+        assert write_edge_list(edges, path) == 3
+        assert read_edge_list(path) == edges
+
+    def test_roundtrip_via_file_object(self):
+        buffer = io.StringIO()
+        write_edge_list([(1, 2)], buffer)
+        buffer.seek(0)
+        assert read_edge_list(buffer) == [(1, 2)]
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n1 2\n# mid\n3 4\n"
+        assert read_edge_list(io.StringIO(text)) == [(1, 2), (3, 4)]
+
+    def test_self_loops_dropped(self):
+        assert read_edge_list(io.StringIO("1 1\n1 2\n")) == [(1, 2)]
+
+    def test_extra_columns_tolerated(self):
+        # SNAP files sometimes carry timestamps in a third column.
+        assert read_edge_list(io.StringIO("1 2 1234567\n")) == [(1, 2)]
+
+    def test_malformed_line_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_edge_list(io.StringIO("1 2\njunk\n"))
+
+
+class TestEventStream:
+    def test_roundtrip(self, tmp_path):
+        events = [
+            add_vertex(7),
+            add_edge(1, 2),
+            delete_edge(1, 2),
+            delete_vertex(7),
+        ]
+        path = tmp_path / "stream.events"
+        assert write_event_stream(events, path) == 4
+        assert list(read_event_stream(path)) == events
+
+    def test_string_vertices_roundtrip(self):
+        buffer = io.StringIO()
+        write_event_stream([add_edge("alice", "bob")], buffer)
+        buffer.seek(0)
+        assert list(read_event_stream(buffer)) == [add_edge("alice", "bob")]
+
+    def test_lazy_reading(self):
+        buffer = io.StringIO("+ 1 2\n+ 3 4\n")
+        iterator = read_event_stream(buffer)
+        assert next(iterator) == add_edge(1, 2)
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            list(read_event_stream(io.StringIO("* 1 2\n")))
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            list(read_event_stream(io.StringIO("+ 1\n")))
+
+    def test_comments_skipped(self):
+        buffer = io.StringIO("# stream\n+ 1 2\n")
+        assert list(read_event_stream(buffer)) == [add_edge(1, 2)]

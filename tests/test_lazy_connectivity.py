@@ -1,0 +1,133 @@
+"""Unit and cross-validation tests for LazyRebuildConnectivity."""
+
+import random
+
+import pytest
+
+from repro.connectivity import (
+    LazyRebuildConnectivity,
+    NaiveDynamicConnectivity,
+    make_connectivity,
+)
+from repro.core import ClustererConfig, StreamingGraphClusterer
+from repro.streams import add_edge, delete_edge, insert_only_stream, planted_partition
+
+
+class TestBasics:
+    def test_insert_and_query(self):
+        lazy = LazyRebuildConnectivity()
+        assert lazy.insert_edge(1, 2)
+        lazy.insert_edge(2, 3)
+        assert lazy.connected(1, 3)
+        assert lazy.component_size(1) == 3
+
+    def test_duplicate_insert_raises(self):
+        lazy = LazyRebuildConnectivity()
+        lazy.insert_edge(1, 2)
+        with pytest.raises(ValueError):
+            lazy.insert_edge(2, 1)
+
+    def test_delete_defers_rebuild(self):
+        lazy = LazyRebuildConnectivity()
+        lazy.insert_edge(1, 2)
+        lazy.insert_edge(2, 3)
+        _ = lazy.num_components  # force a clean cache
+        rebuilds_before = lazy.rebuilds
+        assert lazy.delete_edge(1, 2) is True  # conservative indication
+        assert lazy.rebuilds == rebuilds_before  # no rebuild yet
+        assert not lazy.connected(1, 2)  # query triggers the rebuild
+        assert lazy.rebuilds == rebuilds_before + 1
+
+    def test_mutations_never_rebuild(self):
+        lazy = LazyRebuildConnectivity()
+        for i in range(50):
+            lazy.insert_edge(i, i + 1)
+        for i in range(0, 40, 2):
+            lazy.delete_edge(i, i + 1)
+        for i in range(0, 40, 2):
+            lazy.insert_edge(i, i + 1)
+        assert lazy.rebuilds == 0
+        assert lazy.connected(0, 50)  # single rebuild answers everything
+        assert lazy.rebuilds == 1
+
+    def test_delete_absent_raises(self):
+        lazy = LazyRebuildConnectivity()
+        with pytest.raises(KeyError):
+            lazy.delete_edge(1, 2)
+
+    def test_unknown_vertices(self):
+        lazy = LazyRebuildConnectivity()
+        assert lazy.connected("x", "x")
+        assert not lazy.connected("x", "y")
+        assert lazy.component_size("x") == 1
+        assert lazy.component_members("x") == {"x"}
+
+    def test_remove_isolated_vertex(self):
+        lazy = LazyRebuildConnectivity()
+        lazy.add_vertex(1)
+        lazy.insert_edge(2, 3)
+        assert lazy.remove_vertex_if_isolated(1)
+        assert not lazy.remove_vertex_if_isolated(2)
+
+    def test_factory(self):
+        assert isinstance(make_connectivity("lazy"), LazyRebuildConnectivity)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_queries_match_naive_at_every_point(self, seed):
+        rng = random.Random(seed)
+        lazy = LazyRebuildConnectivity()
+        naive = NaiveDynamicConnectivity()
+        nodes = list(range(25))
+        edges = set()
+        for _ in range(800):
+            u, v = rng.sample(nodes, 2)
+            e = (min(u, v), max(u, v))
+            if e in edges:
+                lazy.delete_edge(*e)
+                naive.delete_edge(*e)
+                edges.discard(e)
+            else:
+                lazy.insert_edge(*e)
+                naive.insert_edge(*e)
+                edges.add(e)
+            a, b = rng.sample(nodes, 2)
+            assert lazy.connected(a, b) == naive.connected(a, b)
+            assert lazy.component_size(a) == naive.component_size(a)
+            assert lazy.num_components == naive.num_components
+        lazy_groups = sorted(tuple(sorted(g)) for g in lazy.components())
+        naive_groups = sorted(tuple(sorted(g)) for g in naive.components())
+        assert lazy_groups == naive_groups
+
+
+class TestClustererIntegration:
+    def test_snapshot_matches_hdt_backend(self):
+        graph = planted_partition(80, 4, 0.3, 0.01, seed=71)
+        events = insert_only_stream(graph.edges, seed=71)
+        snapshots = {}
+        for backend in ("hdt", "lazy"):
+            clusterer = StreamingGraphClusterer(
+                ClustererConfig(
+                    reservoir_capacity=100,
+                    connectivity_backend=backend,
+                    strict=False,
+                    seed=3,
+                )
+            ).process(events)
+            snapshots[backend] = clusterer.snapshot()
+        assert snapshots["hdt"] == snapshots["lazy"]
+
+    def test_split_counter_is_upper_bound(self):
+        events = [add_edge(i, i + 1) for i in range(20)]
+        events += [delete_edge(i, i + 1) for i in range(20)]
+        exact = StreamingGraphClusterer(
+            ClustererConfig(reservoir_capacity=100, seed=1)
+        ).process(list(events))
+        lazy = StreamingGraphClusterer(
+            ClustererConfig(
+                reservoir_capacity=100, connectivity_backend="lazy", seed=1
+            )
+        ).process(list(events))
+        assert lazy.stats.component_splits >= exact.stats.component_splits
+        assert lazy.snapshot() == exact.snapshot()

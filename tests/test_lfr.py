@@ -1,0 +1,78 @@
+"""Unit tests for the LFR-style generator."""
+
+import math
+import random
+
+import pytest
+
+from repro.streams import lfr_graph, power_law_sequence
+
+
+class TestPowerLawSequence:
+    def test_respects_bounds(self):
+        rng = random.Random(0)
+        values = power_law_sequence(500, 2.5, 3, 40, rng)
+        assert len(values) == 500
+        assert min(values) >= 3
+        assert max(values) <= 40
+
+    def test_heavier_tail_for_smaller_exponent(self):
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        flat = power_law_sequence(3000, 1.2, 1, 100, rng_a)
+        steep = power_law_sequence(3000, 3.5, 1, 100, rng_b)
+        assert sum(flat) / len(flat) > sum(steep) / len(steep)
+
+    def test_degenerate_support(self):
+        rng = random.Random(2)
+        assert power_law_sequence(10, 2.0, 5, 5, rng) == [5] * 10
+
+    def test_validation(self):
+        rng = random.Random(3)
+        with pytest.raises(ValueError):
+            power_law_sequence(10, 2.0, 5, 3, rng)
+        with pytest.raises(ValueError):
+            power_law_sequence(0, 2.0, 1, 5, rng)
+
+
+class TestLFRGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return lfr_graph(800, mu=0.15, seed=42)
+
+    def test_covers_all_vertices(self, graph):
+        assert graph.truth.num_vertices == 800
+
+    def test_no_duplicates_or_loops(self, graph):
+        assert len(set(graph.edges)) == len(graph.edges)
+        assert all(u != v for u, v in graph.edges)
+
+    def test_realized_mixing_near_target(self, graph):
+        intra = sum(1 for u, v in graph.edges if graph.truth.same_cluster(u, v))
+        realized = 1 - intra / graph.num_edges
+        assert abs(realized - 0.15) < 0.05
+
+    def test_community_size_bounds(self):
+        graph = lfr_graph(600, mu=0.1, min_community=20, max_community=80, seed=7)
+        sizes = graph.truth.sizes()
+        assert max(sizes) <= 80 + 20  # tail fold-in may exceed slightly
+        assert min(sizes) >= 10  # fold-in keeps communities non-trivial
+
+    def test_degree_heterogeneity(self, graph):
+        degrees = sorted(graph.degrees.values())
+        assert degrees[-1] > 3 * degrees[len(degrees) // 2]
+
+    def test_determinism(self):
+        a = lfr_graph(300, mu=0.2, seed=5)
+        b = lfr_graph(300, mu=0.2, seed=5)
+        assert a.edges == b.edges
+        assert a.truth == b.truth
+
+    def test_mu_zero_has_no_inter_edges(self):
+        graph = lfr_graph(300, mu=0.0, seed=6)
+        assert all(graph.truth.same_cluster(u, v) for u, v in graph.edges)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lfr_graph(100, mu=1.5)
+        with pytest.raises(ValueError):
+            lfr_graph(0)

@@ -1,0 +1,107 @@
+"""Property-based tests for the quality metrics' mathematical invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import AdjacencyGraph
+from repro.quality import (
+    Partition,
+    ari,
+    average_conductance,
+    coverage,
+    modularity,
+    nmi,
+    normalized_vi,
+    pairwise_precision_recall_f1,
+    split_join_distance,
+    variation_of_information,
+)
+
+# Random partitions over 1..n as label lists.
+_labelings = st.lists(st.integers(0, 5), min_size=2, max_size=40)
+
+
+def _partition(labels) -> Partition:
+    return Partition({i: label for i, label in enumerate(labels)})
+
+
+def _permuted(labels, offset: int) -> Partition:
+    return Partition({i: (label + offset) * 7 for i, label in enumerate(labels)})
+
+
+@settings(max_examples=120, deadline=None)
+@given(labels=_labelings, offset=st.integers(1, 5))
+def test_external_metrics_are_label_invariant(labels, offset):
+    a = _partition(labels)
+    b = _permuted(labels, offset)
+    assert abs(nmi(a, b) - 1.0) < 1e-9
+    assert abs(ari(a, b) - 1.0) < 1e-9
+    assert abs(variation_of_information(a, b)) < 1e-9
+    assert split_join_distance(a, b) == 0
+
+
+@settings(max_examples=120, deadline=None)
+@given(left=_labelings, right=_labelings)
+def test_metric_bounds_and_symmetry(left, right):
+    n = min(len(left), len(right))
+    a = _partition(left[:n])
+    b = _partition(right[:n])
+    assert 0.0 <= nmi(a, b) <= 1.0 + 1e-9
+    assert ari(a, b) <= 1.0 + 1e-9
+    precision, recall, f1 = pairwise_precision_recall_f1(a, b)
+    assert 0.0 <= precision <= 1.0 and 0.0 <= recall <= 1.0 and 0.0 <= f1 <= 1.0
+    vi = variation_of_information(a, b)
+    assert -1e-9 <= vi <= math.log(max(n, 2)) * 2 + 1e-9
+    assert vi == variation_of_information(b, a)
+    assert 0.0 <= normalized_vi(a, b) <= 1.0 + 1e-9
+    sj = split_join_distance(a, b)
+    assert 0 <= sj <= 2 * n
+    assert sj == split_join_distance(b, a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(labels=_labelings, third=_labelings)
+def test_vi_triangle_inequality(labels, third):
+    n = min(len(labels), len(third))
+    a = _partition(labels[:n])
+    b = _partition(third[:n])
+    c = _partition([(x + y) % 3 for x, y in zip(labels[:n], third[:n])])
+    ab = variation_of_information(a, b)
+    ac = variation_of_information(a, c)
+    cb = variation_of_information(c, b)
+    assert ab <= ac + cb + 1e-9
+
+
+# Random small graphs as edge sets over 0..9.
+_edge_sets = st.sets(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(lambda p: p[0] != p[1]),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(edges=_edge_sets, labels=st.lists(st.integers(0, 3), min_size=10, max_size=10))
+def test_modularity_and_coverage_bounds(edges, labels):
+    graph = AdjacencyGraph(edges)
+    partition = Partition({v: labels[v] for v in range(10)})
+    q = modularity(graph, partition)
+    assert -0.5 - 1e-9 <= q <= 1.0
+    assert 0.0 <= coverage(graph, partition) <= 1.0
+    assert 0.0 <= average_conductance(graph, partition) <= 1.0 + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(edges=_edge_sets)
+def test_trivial_partitions_modularity(edges):
+    graph = AdjacencyGraph(edges)
+    whole = Partition({v: 0 for v in graph.vertices()})
+    # One cluster holding everything always has Q = 0 exactly:
+    # coverage 1 and (Σd/2m)² = 1.
+    assert modularity(graph, whole) == 0.0 or abs(modularity(graph, whole)) < 1e-12
+    singles = Partition.singletons(graph.vertices())
+    assert modularity(graph, singles) <= 0.0 + 1e-12

@@ -1,0 +1,79 @@
+"""Unit tests for stream-order transforms."""
+
+import pytest
+
+from repro.graph import graph_from_events
+from repro.streams import (
+    EventKind,
+    adversarial_bridge_first,
+    count_kinds,
+    insert_delete_stream,
+    insert_only_stream,
+    shuffled,
+    add_edge,
+)
+
+
+class TestShuffled:
+    def test_preserves_multiset(self):
+        events = [add_edge(i, i + 1) for i in range(50)]
+        result = shuffled(events, seed=1)
+        assert sorted(e.edge for e in result) == sorted(e.edge for e in events)
+        assert result != events  # overwhelmingly likely with 50 events
+
+    def test_deterministic(self):
+        events = [add_edge(i, i + 1) for i in range(20)]
+        assert shuffled(events, seed=3) == shuffled(events, seed=3)
+        assert shuffled(events, seed=3) != shuffled(events, seed=4)
+
+
+class TestInsertOnly:
+    def test_all_adds(self):
+        events = insert_only_stream([(1, 2), (3, 4)], seed=0)
+        assert count_kinds(events)[EventKind.ADD_EDGE] == 2
+
+    def test_unshuffled_when_seed_none(self):
+        events = insert_only_stream([(1, 2), (3, 4), (5, 6)], seed=None)
+        assert [e.edge for e in events] == [(1, 2), (3, 4), (5, 6)]
+
+
+class TestInsertDelete:
+    def test_final_state_is_full_edge_set(self):
+        edges = [(i, i + 1) for i in range(40)]
+        events = insert_delete_stream(edges, churn=0.5, seed=2)
+        graph = graph_from_events(events)
+        assert sorted(graph.edges()) == sorted(edges)
+
+    def test_event_count(self):
+        edges = [(i, i + 1) for i in range(40)]
+        events = insert_delete_stream(edges, churn=0.5, seed=2)
+        assert len(events) == 40 + 2 * 20
+
+    def test_stream_is_well_formed(self):
+        # Strict replay must not raise: adds before deletes per edge.
+        from repro.core import ClustererConfig, StreamingGraphClusterer
+
+        edges = [(i, (i + 7) % 30) for i in range(30) if i != (i + 7) % 30]
+        events = insert_delete_stream(edges, churn=1.0, seed=3)
+        clusterer = StreamingGraphClusterer(
+            ClustererConfig(reservoir_capacity=10, strict=True)
+        )
+        clusterer.process(events)  # raises StreamError if malformed
+        assert clusterer.stats.malformed_events == 0
+
+    def test_zero_churn_is_insert_only(self):
+        events = insert_delete_stream([(1, 2), (3, 4)], churn=0.0, seed=4)
+        assert count_kinds(events)[EventKind.DELETE_EDGE] == 0
+
+    def test_churn_validation(self):
+        with pytest.raises(ValueError):
+            insert_delete_stream([(1, 2)], churn=2.0)
+
+
+class TestAdversarial:
+    def test_bridges_come_first(self):
+        intra = [(0, 1), (1, 2), (10, 11), (11, 12)]
+        bridges = [(2, 10)]
+        events = adversarial_bridge_first(intra, bridges, seed=5)
+        assert events[0].edge == (2, 10)
+        assert len(events) == 5

@@ -1,0 +1,90 @@
+"""Unit tests for the Partition type."""
+
+import pytest
+
+from repro.quality import Partition
+
+
+class TestConstruction:
+    def test_from_labels(self):
+        p = Partition({1: "a", 2: "a", 3: "b"})
+        assert p.num_clusters == 2
+        assert p.same_cluster(1, 2)
+        assert not p.same_cluster(1, 3)
+
+    def test_from_clusters(self):
+        p = Partition.from_clusters([{1, 2}, {3}])
+        assert p.num_vertices == 3
+        assert p.members(p.label_of(1)) == {1, 2}
+
+    def test_from_clusters_rejects_overlap(self):
+        with pytest.raises(ValueError, match="multiple clusters"):
+            Partition.from_clusters([{1, 2}, {2, 3}])
+
+    def test_singletons(self):
+        p = Partition.singletons([1, 2, 3])
+        assert p.num_clusters == 3
+
+    def test_empty(self):
+        p = Partition({})
+        assert p.num_clusters == 0
+        assert p.max_cluster_size == 0
+        assert p.sizes() == []
+
+
+class TestQueries:
+    def test_label_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Partition({1: 0}).label_of(2)
+
+    def test_get_with_default(self):
+        p = Partition({1: 0})
+        assert p.get(2, "missing") == "missing"
+
+    def test_clusters_sorted_by_size(self):
+        p = Partition.from_clusters([{1}, {2, 3, 4}, {5, 6}])
+        sizes = [len(c) for c in p.clusters()]
+        assert sizes == [3, 2, 1]
+
+    def test_sizes_descending(self):
+        p = Partition.from_clusters([{1}, {2, 3, 4}, {5, 6}])
+        assert p.sizes() == [3, 2, 1]
+
+    def test_contains_and_len(self):
+        p = Partition({1: 0, 2: 0})
+        assert 1 in p and 3 not in p
+        assert len(p) == 2
+
+    def test_structural_equality_ignores_label_names(self):
+        a = Partition({1: "x", 2: "x", 3: "y"})
+        b = Partition({1: 7, 2: 7, 3: 9})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_different_grouping(self):
+        assert Partition({1: 0, 2: 0}) != Partition({1: 0, 2: 1})
+
+    def test_inequality_on_different_vertex_sets(self):
+        assert Partition({1: 0}) != Partition({2: 0})
+
+
+class TestTransformations:
+    def test_normalized_labels_dense_by_size(self):
+        p = Partition.from_clusters([{9}, {1, 2, 3}, {4, 5}]).normalized()
+        assert p.label_of(1) == 0  # biggest cluster gets label 0
+        assert p.label_of(4) == 1
+        assert p.label_of(9) == 2
+
+    def test_restricted_to(self):
+        p = Partition({1: 0, 2: 0, 3: 1})
+        r = p.restricted_to([1, 3, 99])
+        assert set(r.vertices()) == {1, 3}
+
+    def test_merged_small_clusters(self):
+        p = Partition.from_clusters([{1, 2, 3}, {4}, {5}])
+        merged = p.merged_small_clusters(min_size=2)
+        assert merged.num_clusters == 2
+        assert merged.same_cluster(4, 5)
+
+    def test_repr(self):
+        assert "num_clusters=1" in repr(Partition({1: 0}))

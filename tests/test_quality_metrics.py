@@ -1,0 +1,157 @@
+"""Unit tests for modularity, conductance, and external metrics."""
+
+import math
+
+import pytest
+
+from repro.graph import AdjacencyGraph
+from repro.quality import (
+    Partition,
+    ari,
+    average_conductance,
+    cluster_cut_stats,
+    conductances,
+    coverage,
+    internal_densities,
+    max_conductance,
+    modularity,
+    nmi,
+    normalized_cut,
+    pair_counts,
+    pairwise_f1,
+    pairwise_precision_recall_f1,
+    purity,
+)
+
+
+@pytest.fixture
+def bridged(triangle_graph):
+    return triangle_graph  # (graph with two triangles + bridge, truth)
+
+
+class TestModularity:
+    def test_known_value(self, bridged):
+        graph, truth = bridged
+        # Two triangles + bridge: Q = 2*(3/7 - (7/14)^2) = 5/14.
+        assert modularity(graph, truth) == pytest.approx(5 / 14)
+
+    def test_single_cluster_is_zero(self, bridged):
+        graph, _ = bridged
+        whole = Partition({v: 0 for v in graph.vertices()})
+        assert modularity(graph, whole) == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        assert modularity(AdjacencyGraph(), Partition({})) == 0.0
+
+    def test_uncovered_vertices_are_singletons(self, bridged):
+        graph, truth = bridged
+        partial = truth.restricted_to([0, 1, 2])
+        full = Partition({**partial.labels(), 3: "s3", 4: "s4", 5: "s5"})
+        assert modularity(graph, partial) == pytest.approx(modularity(graph, full))
+
+    def test_matches_networkx(self, karate_graph):
+        nx = pytest.importorskip("networkx")
+        import networkx.algorithms.community as nxc
+
+        graph, truth = karate_graph
+        G = nx.Graph(list(graph.edges()))
+        expected = nxc.modularity(G, [set(c) for c in truth.clusters()])
+        assert modularity(graph, truth) == pytest.approx(expected)
+
+
+class TestConductance:
+    def test_bridge_cut(self, bridged):
+        graph, truth = bridged
+        values = conductances(graph, truth)
+        # Each triangle has volume 7, cut 1 → φ = 1/7.
+        assert values == pytest.approx([1 / 7, 1 / 7])
+        assert average_conductance(graph, truth) == pytest.approx(1 / 7)
+        assert max_conductance(graph, truth) == pytest.approx(1 / 7)
+
+    def test_perfect_separation_is_zero(self):
+        graph = AdjacencyGraph([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        truth = Partition.from_clusters([{0, 1, 2}, {3, 4, 5}])
+        assert average_conductance(graph, truth) == 0.0
+
+    def test_coverage(self, bridged):
+        graph, truth = bridged
+        assert coverage(graph, truth) == pytest.approx(6 / 7)
+
+    def test_normalized_cut(self, bridged):
+        graph, truth = bridged
+        assert normalized_cut(graph, truth) == pytest.approx(2 / 7)
+
+    def test_internal_density(self, bridged):
+        graph, truth = bridged
+        assert internal_densities(graph, truth) == pytest.approx([1.0, 1.0])
+
+    def test_cut_stats_fields(self, bridged):
+        graph, truth = bridged
+        stats = {s.size: s for s in cluster_cut_stats(graph, truth)}
+        assert stats[3].internal == 3
+        assert stats[3].cut == 1
+        assert stats[3].volume == 7
+
+    def test_min_size_filter(self, bridged):
+        graph, truth = bridged
+        assert conductances(graph, truth, min_size=4) == []
+        assert average_conductance(graph, truth, min_size=4) == 0.0
+
+
+class TestExternalMetrics:
+    def test_identical_partitions_score_one(self):
+        p = Partition.from_clusters([{1, 2}, {3, 4}])
+        assert nmi(p, p) == pytest.approx(1.0)
+        assert ari(p, p) == pytest.approx(1.0)
+        assert pairwise_f1(p, p) == pytest.approx(1.0)
+        assert purity(p, p) == pytest.approx(1.0)
+
+    def test_permuted_labels_score_one(self):
+        a = Partition({1: 0, 2: 0, 3: 1, 4: 1})
+        b = Partition({1: "z", 2: "z", 3: "q", 4: "q"})
+        assert nmi(a, b) == pytest.approx(1.0)
+        assert ari(a, b) == pytest.approx(1.0)
+
+    def test_pair_counts(self):
+        predicted = Partition.from_clusters([{1, 2, 3}, {4}])
+        truth = Partition.from_clusters([{1, 2}, {3, 4}])
+        counts = pair_counts(predicted, truth)
+        assert counts.together_predicted == 3
+        assert counts.together_truth == 2
+        assert counts.together_both == 1
+        assert counts.total_pairs == 6
+
+    def test_precision_recall_f1(self):
+        predicted = Partition.from_clusters([{1, 2, 3}, {4}])
+        truth = Partition.from_clusters([{1, 2}, {3, 4}])
+        precision, recall, f1 = pairwise_precision_recall_f1(predicted, truth)
+        assert precision == pytest.approx(1 / 3)
+        assert recall == pytest.approx(1 / 2)
+        assert f1 == pytest.approx(2 * (1 / 3) * (1 / 2) / (1 / 3 + 1 / 2))
+
+    def test_all_singletons_vs_truth(self):
+        truth = Partition.from_clusters([{1, 2}, {3, 4}])
+        singles = Partition.singletons([1, 2, 3, 4])
+        precision, recall, f1 = pairwise_precision_recall_f1(singles, truth)
+        assert precision == 1.0  # vacuous: no pairs asserted
+        assert recall == 0.0
+        assert f1 == 0.0
+        assert purity(singles, truth) == 1.0
+
+    def test_disjoint_vertex_sets(self):
+        a = Partition({1: 0})
+        b = Partition({2: 0})
+        assert nmi(a, b) == 0.0
+        assert purity(a, b) == 0.0
+
+    def test_nmi_against_manual_value(self):
+        # 4 items: predicted {12}{34}, truth {13}{24} → MI = 0.
+        predicted = Partition.from_clusters([{1, 2}, {3, 4}])
+        truth = Partition.from_clusters([{1, 3}, {2, 4}])
+        assert nmi(predicted, truth) == pytest.approx(0.0, abs=1e-12)
+        assert ari(predicted, truth) <= 0.0 + 1e-12
+
+    def test_metrics_computed_on_intersection(self):
+        predicted = Partition({1: 0, 2: 0, 99: 5})
+        truth = Partition({1: "a", 2: "a", 3: "b"})
+        assert pairwise_f1(predicted, truth) == pytest.approx(1.0)

@@ -1,0 +1,74 @@
+"""Unit tests for the R-MAT generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.streams import rmat_edges
+
+
+class TestRmat:
+    def test_exact_edge_count(self):
+        edges = rmat_edges(scale=8, num_edges=1000, seed=1)
+        assert len(edges) == 1000
+
+    def test_no_duplicates_or_loops(self):
+        edges = rmat_edges(scale=8, num_edges=1500, seed=2)
+        assert len(set(edges)) == len(edges)
+        assert all(u != v for u, v in edges)
+        n = 1 << 8
+        assert all(0 <= u < n and 0 <= v < n for u, v in edges)
+
+    def test_deterministic(self):
+        assert rmat_edges(7, 500, seed=3) == rmat_edges(7, 500, seed=3)
+        assert rmat_edges(7, 500, seed=3) != rmat_edges(7, 500, seed=4)
+
+    def test_skewed_degrees(self):
+        edges = rmat_edges(scale=10, num_edges=5000, seed=5)
+        degree = Counter()
+        for u, v in edges:
+            degree[u] += 1
+            degree[v] += 1
+        ranked = sorted(degree.values(), reverse=True)
+        # Heavy head: the top vertex far exceeds the median.
+        median = ranked[len(ranked) // 2]
+        assert ranked[0] > 10 * median
+
+    def test_uniform_parameters_give_flat_degrees(self):
+        edges = rmat_edges(
+            scale=10, num_edges=5000, a=0.25, b=0.25, c=0.25, noise=0.0, seed=6
+        )
+        degree = Counter()
+        for u, v in edges:
+            degree[u] += 1
+            degree[v] += 1
+        ranked = sorted(degree.values(), reverse=True)
+        assert ranked[0] < 5 * ranked[len(ranked) // 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmat_edges(0, 10)
+        with pytest.raises(ValueError):
+            rmat_edges(4, 10, a=0.6, b=0.3, c=0.2)  # sums over 1
+        with pytest.raises(ValueError):
+            rmat_edges(3, 1000)  # more edges than pairs
+
+    def test_rejection_budget_error(self):
+        # Extremely skewed parameters concentrate draws on few cells;
+        # demanding near-maximal density must fail loudly, not loop.
+        with pytest.raises(RuntimeError, match="budget"):
+            rmat_edges(
+                4, 100, a=0.97, b=0.01, c=0.01, noise=0.0,
+                seed=7, max_attempts_factor=3,
+            )
+
+    def test_feeds_the_clusterer(self):
+        from repro.core import ClustererConfig, StreamingGraphClusterer
+        from repro.streams import insert_only_stream
+
+        edges = rmat_edges(scale=9, num_edges=2000, seed=8)
+        clusterer = StreamingGraphClusterer(
+            ClustererConfig(reservoir_capacity=300, strict=False)
+        ).process(insert_only_stream(edges, seed=8))
+        assert clusterer.num_clusters >= 1
+        assert clusterer.reservoir_size == 300

@@ -1,0 +1,127 @@
+"""Unit tests for the sharded (parallel) clusterer."""
+
+import pytest
+
+from repro.core import (
+    ClustererConfig,
+    ShardedClusterer,
+    StreamingGraphClusterer,
+    cluster_stream_parallel,
+)
+from repro.streams import (
+    add_edge,
+    add_vertex,
+    delete_edge,
+    delete_vertex,
+    insert_only_stream,
+    planted_partition,
+)
+
+
+@pytest.fixture
+def sbm_events():
+    graph = planted_partition(120, 3, p_in=0.3, p_out=0.01, seed=21)
+    return insert_only_stream(graph.edges, seed=21), graph.truth
+
+
+def make(num_shards=4, capacity=400, **kwargs) -> ShardedClusterer:
+    return ShardedClusterer(
+        ClustererConfig(reservoir_capacity=capacity, strict=False, **kwargs),
+        num_shards=num_shards,
+    )
+
+
+class TestRouting:
+    def test_events_distributed_across_shards(self, sbm_events):
+        events, _ = sbm_events
+        sharded = make().process(events)
+        assert all(count > 0 for count in sharded.shard_events)
+        assert sum(sharded.shard_events) == len(events)
+
+    def test_routing_is_deterministic(self, sbm_events):
+        events, _ = sbm_events
+        a = make().process(events)
+        b = make().process(events)
+        assert a.shard_events == b.shard_events
+        assert a.snapshot() == b.snapshot()
+
+    def test_vertex_events_broadcast(self):
+        sharded = make(num_shards=3)
+        sharded.apply(add_vertex(7))
+        assert all(7 in shard.snapshot() for shard in sharded.shards)
+
+    def test_vertex_delete_broadcast(self):
+        sharded = make(num_shards=2)
+        sharded.apply(add_edge(1, 2))
+        sharded.apply(add_edge(1, 3))
+        sharded.apply(delete_vertex(1))
+        assert 1 not in sharded.snapshot()
+
+
+class TestMergedClustering:
+    def test_merged_components_union_shards(self, sbm_events):
+        events, truth = sbm_events
+        sharded = make().process(events)
+        merged = sharded.snapshot()
+        # Every shard-local same-cluster pair must stay together merged.
+        for shard in sharded.shards:
+            for u, v in shard.reservoir_edges():
+                assert merged.same_cluster(u, v)
+
+    def test_queries_on_unseen_vertices(self):
+        sharded = make()
+        sharded.apply(add_edge(1, 2))
+        assert not sharded.same_cluster(1, 999)
+        assert sharded.cluster_members(999) == {999}
+
+    def test_cache_invalidation_on_update(self):
+        sharded = make()
+        sharded.apply(add_edge(1, 2))
+        assert sharded.same_cluster(1, 2)
+        sharded.apply(delete_edge(1, 2))
+        assert not sharded.same_cluster(1, 2)
+
+    def test_total_reservoir_bounded_by_budget(self, sbm_events):
+        events, _ = sbm_events
+        sharded = make(num_shards=4, capacity=400).process(events)
+        assert sharded.total_reservoir_size <= 400
+
+    def test_shard_balance_in_range(self, sbm_events):
+        events, _ = sbm_events
+        sharded = make(num_shards=4).process(events)
+        assert 1.0 <= sharded.shard_balance <= 4.0
+        assert sharded.shard_balance > 3.0  # hashing balances well
+
+    def test_single_shard_matches_plain_clusterer_structure(self, sbm_events):
+        events, _ = sbm_events
+        sharded = make(num_shards=1, capacity=300).process(events)
+        plain = StreamingGraphClusterer(
+            ClustererConfig(reservoir_capacity=300, strict=False,
+                            seed=sharded.shards[0].config.seed)
+        ).process(events)
+        assert sharded.snapshot() == plain.snapshot()
+
+
+class TestParallelDriver:
+    def test_inline_driver_matches_sharded(self, sbm_events):
+        events, _ = sbm_events
+        config = ClustererConfig(reservoir_capacity=400, strict=False)
+        partition, results = cluster_stream_parallel(
+            events, config, num_shards=4, pool_processes=1
+        )
+        sharded = ShardedClusterer(config, num_shards=4).process(events)
+        assert partition == sharded.snapshot()
+        assert sorted(r.shard for r in results) == [0, 1, 2, 3]
+        assert sum(r.events for r in results) == len(events)
+
+    def test_pool_driver_matches_inline(self, sbm_events):
+        events, _ = sbm_events
+        config = ClustererConfig(reservoir_capacity=200, strict=False)
+        inline, _ = cluster_stream_parallel(events, config, 3, pool_processes=1)
+        pooled, _ = cluster_stream_parallel(events, config, 3, pool_processes=2)
+        assert inline == pooled
+
+    def test_vertex_events_rejected(self):
+        config = ClustererConfig(reservoir_capacity=10, strict=False)
+        with pytest.raises(ValueError, match="edge events only"):
+            cluster_stream_parallel([add_vertex(1)], config, 2)

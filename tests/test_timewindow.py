@@ -1,0 +1,109 @@
+"""Unit tests for timestamped streams and time-window clustering."""
+
+import pytest
+
+from repro.core import ClustererConfig
+from repro.core.timewindow import TimeWindowClusterer
+from repro.errors import UnsupportedOperationError
+from repro.streams import add_edge, add_vertex, delete_edge
+from repro.streams.timestamped import (
+    TimestampedEvent,
+    validate_timestamps,
+    with_poisson_timestamps,
+)
+
+
+def ts(t, u, v):
+    return TimestampedEvent(t, add_edge(u, v))
+
+
+def make(horizon=10.0, capacity=100):
+    return TimeWindowClusterer(
+        ClustererConfig(reservoir_capacity=capacity), horizon=horizon
+    )
+
+
+class TestTimestampedStream:
+    def test_poisson_timestamps_monotone(self):
+        events = [add_edge(i, i + 1) for i in range(200)]
+        stream = with_poisson_timestamps(events, rate=5.0, seed=1)
+        validate_timestamps(stream)
+        assert len(stream) == 200
+
+    def test_poisson_rate_approximate(self):
+        events = [add_edge(i, i + 1) for i in range(2000)]
+        stream = with_poisson_timestamps(events, rate=10.0, seed=2)
+        duration = stream[-1].timestamp - stream[0].timestamp
+        assert 2000 / duration == pytest.approx(10.0, rel=0.15)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            with_poisson_timestamps([], rate=0.0)
+
+    def test_validate_rejects_regression(self):
+        stream = [ts(1.0, 1, 2), ts(0.5, 3, 4)]
+        with pytest.raises(ValueError, match="regress"):
+            validate_timestamps(stream)
+
+
+class TestTimeWindow:
+    def test_edges_expire_by_time(self):
+        w = make(horizon=10.0)
+        w.apply(ts(0.0, 1, 2))
+        w.apply(ts(5.0, 3, 4))
+        assert w.same_cluster(1, 2)
+        w.apply(ts(11.0, 5, 6))  # pushes t=0 out of [1, 11]
+        assert not w.same_cluster(1, 2)
+        assert w.same_cluster(3, 4)
+
+    def test_advance_to_expires_without_events(self):
+        w = make(horizon=10.0)
+        w.apply(ts(0.0, 1, 2))
+        expired = w.advance_to(100.0)
+        assert expired == 1
+        assert not w.same_cluster(1, 2)
+        assert w.num_live_edges == 0
+
+    def test_reoccurrence_refreshes(self):
+        w = make(horizon=10.0)
+        w.apply(ts(0.0, 1, 2))
+        w.apply(ts(8.0, 1, 2))  # refresh
+        w.advance_to(15.0)  # first copy expired, second still live
+        assert w.same_cluster(1, 2)
+        w.advance_to(19.0)
+        assert not w.same_cluster(1, 2)
+
+    def test_clock_regression_rejected(self):
+        w = make()
+        w.apply(ts(5.0, 1, 2))
+        with pytest.raises(ValueError, match="regress"):
+            w.apply(ts(4.0, 3, 4))
+        with pytest.raises(ValueError):
+            w.advance_to(1.0)
+
+    def test_vertex_adds_pass_through(self):
+        w = make()
+        w.apply(TimestampedEvent(0.0, add_vertex(42)))
+        assert 42 in w.snapshot()
+
+    def test_deletes_rejected(self):
+        w = make()
+        with pytest.raises(UnsupportedOperationError):
+            w.apply(TimestampedEvent(0.0, delete_edge(1, 2)))
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            make(horizon=0.0)
+
+    def test_process_poisson_stream_end_to_end(self):
+        from repro.streams import insert_only_stream, planted_partition
+
+        graph = planted_partition(60, 3, 0.4, 0.01, seed=44)
+        events = insert_only_stream(graph.edges, seed=44)
+        stream = with_poisson_timestamps(events, rate=100.0, seed=44)
+        w = make(horizon=2.0, capacity=300)
+        w.process(stream)
+        # 2s horizon at 100 ev/s keeps ~200 of the edges live.
+        assert 100 <= w.num_live_edges <= 350
+        assert w.inner.stats.edge_deletes > 0
+        assert "live_edges" in repr(w)

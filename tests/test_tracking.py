@@ -1,0 +1,125 @@
+"""Unit tests for cluster-evolution tracking."""
+
+import pytest
+
+from repro.core.tracking import ClusterEventKind, ClusterTracker
+from repro.quality import Partition
+
+
+def clusters(*groups):
+    return Partition.from_clusters([set(g) for g in groups])
+
+
+class TestLifecycle:
+    def test_first_snapshot_all_born(self):
+        tracker = ClusterTracker()
+        report = tracker.update(clusters({1, 2, 3}, {4, 5}))
+        assert report.count(ClusterEventKind.BORN) == 2
+        assert report.stability == 1.0
+
+    def test_unchanged_clusters_continue_with_same_id(self):
+        tracker = ClusterTracker()
+        first = tracker.update(clusters({1, 2, 3}, {4, 5}))
+        second = tracker.update(clusters({1, 2, 3}, {4, 5}))
+        assert second.count(ClusterEventKind.CONTINUED) == 2
+        assert set(first.stable_id_of.values()) == set(second.stable_id_of.values())
+        assert second.stability == pytest.approx(1.0)
+
+    def test_growth_keeps_identity(self):
+        tracker = ClusterTracker()
+        first = tracker.update(clusters({1, 2, 3}))
+        second = tracker.update(clusters({1, 2, 3, 4, 5}))
+        assert second.count(ClusterEventKind.CONTINUED) == 1
+        assert list(second.stable_id_of.values()) == list(first.stable_id_of.values())
+
+    def test_death(self):
+        tracker = ClusterTracker()
+        tracker.update(clusters({1, 2, 3}, {4, 5}))
+        report = tracker.update(clusters({1, 2, 3}))
+        assert report.count(ClusterEventKind.DIED) == 1
+        assert report.count(ClusterEventKind.CONTINUED) == 1
+
+    def test_split(self):
+        tracker = ClusterTracker()
+        tracker.update(clusters(set(range(10))))
+        report = tracker.update(clusters({0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}))
+        # The bigger-overlap half continues; the other half is a SPLIT.
+        assert report.count(ClusterEventKind.CONTINUED) == 1
+        assert report.count(ClusterEventKind.SPLIT) == 1
+        split = next(e for e in report.events if e.kind is ClusterEventKind.SPLIT)
+        assert len(split.stable_ids) == 2  # (parent, new id)
+
+    def test_merge(self):
+        tracker = ClusterTracker()
+        first = tracker.update(clusters({0, 1, 2, 3}, {4, 5, 6, 7}))
+        report = tracker.update(clusters(set(range(8))))
+        merged = [e for e in report.events if e.kind is ClusterEventKind.MERGED]
+        assert len(merged) == 1
+        parents = set(merged[0].stable_ids[:-1])
+        assert parents == set(first.stable_id_of.values())
+
+    def test_born_cluster_unrelated_to_history(self):
+        tracker = ClusterTracker()
+        tracker.update(clusters({1, 2, 3}))
+        report = tracker.update(clusters({1, 2, 3}, {10, 11, 12}))
+        assert report.count(ClusterEventKind.BORN) == 1
+        assert report.count(ClusterEventKind.CONTINUED) == 1
+
+
+class TestFilteringAndValidation:
+    def test_min_size_ignores_singletons(self):
+        tracker = ClusterTracker(min_size=3)
+        report = tracker.update(clusters({1, 2, 3}, {4, 5}, {6}))
+        assert report.count(ClusterEventKind.BORN) == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTracker(threshold=2.0)
+        with pytest.raises(ValueError):
+            ClusterTracker(min_size=0)
+
+    def test_tracked_clusters_view(self):
+        tracker = ClusterTracker()
+        tracker.update(clusters({1, 2}))
+        view = tracker.tracked_clusters
+        assert list(view.values()) == [frozenset({1, 2})]
+
+    def test_low_threshold_tolerates_churn(self):
+        tracker = ClusterTracker(threshold=0.1)
+        tracker.update(clusters({1, 2, 3, 4, 5}))
+        report = tracker.update(clusters({4, 5, 6, 7, 8}))
+        assert report.count(ClusterEventKind.CONTINUED) == 1
+
+    def test_high_threshold_declares_death_and_birth(self):
+        tracker = ClusterTracker(threshold=0.9)
+        tracker.update(clusters({1, 2, 3, 4, 5}))
+        report = tracker.update(clusters({4, 5, 6, 7, 8}))
+        assert report.count(ClusterEventKind.CONTINUED) == 0
+        assert report.count(ClusterEventKind.DIED) == 1
+
+
+class TestWithStreamingClusterer:
+    def test_tracks_drifting_stream(self):
+        from repro.core import ClustererConfig, MaxClusterSize, StreamingGraphClusterer
+        from repro.streams import drifting_sbm_stream
+
+        phases = drifting_sbm_stream(
+            120, 4, 0.3, 0.0, num_phases=4, migrate_fraction=0.2, seed=81
+        )
+        clusterer = StreamingGraphClusterer(
+            ClustererConfig(
+                reservoir_capacity=2000,
+                constraint=MaxClusterSize(50),
+                strict=False,
+                seed=8,
+            )
+        )
+        tracker = ClusterTracker(min_size=5)
+        reports = []
+        for phase in phases:
+            clusterer.process(phase.events)
+            reports.append(tracker.update(clusterer.snapshot()))
+        # After the first snapshot, the big communities persist under drift.
+        for report in reports[1:]:
+            assert report.count(ClusterEventKind.CONTINUED) >= 2
+            assert 0.0 <= report.stability <= 1.0

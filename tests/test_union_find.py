@@ -1,0 +1,109 @@
+"""Unit tests for UnionFind and RollbackUnionFind."""
+
+import random
+
+import pytest
+
+from repro.connectivity import RollbackUnionFind, UnionFind
+
+
+class TestUnionFind:
+    def test_basic_union_and_find(self):
+        uf = UnionFind()
+        assert uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert not uf.union(2, 1)
+
+    def test_lazy_element_creation(self):
+        uf = UnionFind()
+        assert uf.find(7) == 7
+        assert uf.num_elements == 1
+
+    def test_num_sets_tracking(self):
+        uf = UnionFind(range(5))
+        assert uf.num_sets == 5
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 3)
+        assert uf.num_sets == 2
+
+    def test_set_size(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.set_size(1) == 3
+        assert uf.set_size(99) == 1
+
+    def test_groups(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        groups = sorted(map(sorted, uf.groups()))
+        assert groups == [[0, 1], [2], [3]]
+
+    def test_matches_reference_on_random_ops(self, rng):
+        uf = UnionFind()
+        reference = {i: {i} for i in range(30)}
+        for _ in range(200):
+            a, b = rng.randrange(30), rng.randrange(30)
+            uf.union(a, b)
+            if reference[a] is not reference[b]:
+                merged = reference[a] | reference[b]
+                for member in merged:
+                    reference[member] = merged
+            x, y = rng.randrange(30), rng.randrange(30)
+            assert uf.connected(x, y) == (reference[x] is reference[y])
+
+
+class TestRollbackUnionFind:
+    def test_rollback_restores_state(self):
+        uf = RollbackUnionFind()
+        uf.union(1, 2)
+        mark = uf.checkpoint
+        uf.union(3, 4)
+        uf.union(1, 4)
+        assert uf.connected(2, 3)
+        uf.rollback(mark)
+        assert uf.connected(1, 2)
+        assert not uf.connected(3, 4)
+        assert not uf.connected(1, 3)
+
+    def test_rollback_over_noop_unions(self):
+        uf = RollbackUnionFind()
+        uf.union(1, 2)
+        mark = uf.checkpoint
+        uf.union(1, 2)  # no-op, still recorded
+        uf.rollback(mark)
+        assert uf.connected(1, 2)
+
+    def test_rollback_to_future_raises(self):
+        uf = RollbackUnionFind()
+        with pytest.raises(ValueError):
+            uf.rollback(5)
+
+    def test_num_sets_after_rollback(self):
+        uf = RollbackUnionFind()
+        for i in range(6):
+            uf.add(i)
+        mark = uf.checkpoint
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.num_sets == 4
+        uf.rollback(mark)
+        assert uf.num_sets == 6
+
+    def test_interleaved_checkpoints(self, rng):
+        uf = RollbackUnionFind()
+        snapshots = []
+        for step in range(100):
+            if rng.random() < 0.3:
+                snapshots.append((uf.checkpoint, {frozenset(_group(uf, i) for i in range(20))}))
+            uf.union(rng.randrange(20), rng.randrange(20))
+        while snapshots:
+            mark, state = snapshots.pop()
+            uf.rollback(mark)
+            assert {frozenset(_group(uf, i) for i in range(20))} == state
+
+
+def _group(uf: RollbackUnionFind, x: int) -> frozenset:
+    root = uf.find(x)
+    return frozenset(i for i in range(20) if uf.find(i) == root)

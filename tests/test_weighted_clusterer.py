@@ -1,0 +1,100 @@
+"""Unit tests for the weighted streaming clusterer."""
+
+import random
+
+import pytest
+
+from repro.core import ClustererConfig, MaxClusterSize
+from repro.core.weighted import WeightedStreamingClusterer
+
+
+def make(capacity=100, **kwargs):
+    return WeightedStreamingClusterer(
+        ClustererConfig(reservoir_capacity=capacity, strict=False, **kwargs)
+    )
+
+
+class TestBasics:
+    def test_single_edge(self):
+        c = make()
+        c.add_edge("a", "b", 5.0)
+        assert c.same_cluster("a", "b")
+        assert c.num_clusters == 1
+        assert c.reservoir_size == 1
+
+    def test_reoccurrence_of_resident_edge_is_coalesced(self):
+        c = make()
+        c.add_edge(1, 2, 1.0)
+        c.add_edge(1, 2, 1.0)
+        assert c.reservoir_size == 1
+        assert c.edges_offered == 2
+
+    def test_weight_validation(self):
+        c = make()
+        with pytest.raises(ValueError):
+            c.add_edge(1, 2, 0.0)
+
+    def test_add_edges_chains(self):
+        c = make().add_edges([(1, 2, 1.0), (2, 3, 1.0)])
+        assert c.same_cluster(1, 3)
+
+    def test_snapshot_and_members(self):
+        c = make().add_edges([(1, 2, 1.0), (3, 4, 1.0)])
+        assert c.cluster_members(1) == {1, 2}
+        assert c.snapshot().num_clusters == 2
+
+    def test_repr(self):
+        assert "reservoir=0/100" in repr(make())
+
+
+class TestWeightProportionalBehaviour:
+    def test_strong_ties_dominate_sample(self):
+        rng = random.Random(3)
+        c = make(capacity=50)
+        strong = [(rng.randrange(0, 20), rng.randrange(20, 40), 100.0)
+                  for _ in range(500)]
+        weak = [(rng.randrange(40, 60), rng.randrange(60, 80), 0.01)
+                for _ in range(500)]
+        stream = [pair for pair in strong + weak if pair[0] != pair[1]]
+        rng.shuffle(stream)
+        c.add_edges(stream)
+        sampled = c.sampled_edges()
+        strong_sampled = sum(1 for u, v in sampled if u < 40 and v < 40)
+        assert strong_sampled > 0.9 * len(sampled)
+
+    def test_separates_strongly_tied_groups(self):
+        rng = random.Random(7)
+        c = make(capacity=120)
+        for _ in range(3000):
+            roll = rng.random()
+            if roll < 0.45:
+                u, v, w = rng.randrange(0, 25), rng.randrange(0, 25), 10.0
+            elif roll < 0.9:
+                u, v, w = rng.randrange(25, 50), rng.randrange(25, 50), 10.0
+            else:
+                u, v, w = rng.randrange(0, 25), rng.randrange(25, 50), 0.05
+            if u != v:
+                c.add_edge(u, v, w)
+        assert not c.same_cluster(0, 30)
+        sizes = c.snapshot().sizes()
+        assert sizes[0] == 25 and sizes[1] == 25
+
+    def test_unweighted_degenerates_to_uniform(self):
+        # All weights equal: behaves like plain reservoir clustering.
+        rng = random.Random(9)
+        c = make(capacity=30)
+        for _ in range(500):
+            u, v = rng.sample(range(40), 2)
+            c.add_edge(u, v, 1.0)
+        assert c.reservoir_size == 30
+
+
+class TestConstraints:
+    def test_max_cluster_size_respected(self):
+        rng = random.Random(11)
+        c = make(capacity=500, constraint=MaxClusterSize(10))
+        for _ in range(1500):
+            u, v = rng.sample(range(60), 2)
+            c.add_edge(u, v, rng.uniform(0.5, 2.0))
+        assert c.snapshot().max_cluster_size <= 10
+        assert c.vetoes > 0

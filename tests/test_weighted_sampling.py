@@ -1,0 +1,103 @@
+"""Unit and statistical tests for weighted reservoir sampling."""
+
+from collections import Counter
+
+import pytest
+
+from repro.sampling import WeightedReservoir
+
+
+class TestBasics:
+    def test_fills_to_capacity(self):
+        wr = WeightedReservoir(3, seed=0)
+        for i in range(10):
+            wr.offer(i, 1.0)
+        assert len(wr) == 3
+        assert wr.stream_size == 10
+        assert wr.total_weight == pytest.approx(10.0)
+
+    def test_small_stream_keeps_everything(self):
+        wr = WeightedReservoir(5, seed=0)
+        for i in range(3):
+            assert wr.offer(i, 2.0) is True
+        assert sorted(wr.items()) == [0, 1, 2]
+
+    def test_weight_validation(self):
+        wr = WeightedReservoir(2, seed=0)
+        with pytest.raises(ValueError):
+            wr.offer("x", 0.0)
+        with pytest.raises(ValueError):
+            wr.offer("x", -1.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WeightedReservoir(0)
+
+    def test_overwhelming_weights_always_win(self):
+        wr = WeightedReservoir(2, seed=1)
+        wr.offer("a", 1e-9)
+        wr.offer("b", 1e-9)
+        wr.offer("heavy1", 1e9)
+        wr.offer("heavy2", 1e9)
+        assert set(wr.items()) == {"heavy1", "heavy2"}
+
+    def test_threshold_monotone(self):
+        wr = WeightedReservoir(2, seed=2)
+        thresholds = []
+        for i in range(50):
+            wr.offer(i, 1.0)
+            thresholds.append(wr.threshold())
+        assert all(b >= a for a, b in zip(thresholds[2:], thresholds[3:]))
+
+    def test_keys_are_valid_probabilities(self):
+        wr = WeightedReservoir(4, seed=3)
+        for i in range(30):
+            wr.offer(i, float(i + 1))
+        for _, key in wr.items_with_keys():
+            assert 0.0 < key <= 1.0
+
+
+class TestDistribution:
+    @pytest.mark.parametrize("use_jumps", [True, False])
+    def test_inclusion_proportional_to_weight_k1(self, use_jumps):
+        # k=1: P(item) = w_i / W exactly.
+        weights = {"a": 1.0, "b": 2.0, "c": 5.0}
+        counts = Counter()
+        runs = 6000
+        for seed in range(runs):
+            wr = WeightedReservoir(1, seed=seed, use_jumps=use_jumps)
+            for item, weight in weights.items():
+                wr.offer(item, weight)
+            counts[wr.items()[0]] += 1
+        total = sum(weights.values())
+        for item, weight in weights.items():
+            expected = runs * weight / total
+            assert abs(counts[item] - expected) < 5 * (expected**0.5), item
+
+    def test_uniform_weights_reduce_to_uniform_sampling(self):
+        counts = Counter()
+        runs = 4000
+        for seed in range(runs):
+            wr = WeightedReservoir(5, seed=seed)
+            for i in range(20):
+                wr.offer(i, 7.0)
+            counts.update(wr.items())
+        expected = runs * 5 / 20
+        for i in range(20):
+            assert abs(counts[i] - expected) < 5 * (expected**0.5)
+
+    def test_jump_and_nojump_agree_statistically(self):
+        # Same inclusion frequencies under A-ExpJ and plain A-Res.
+        def frequencies(use_jumps):
+            counts = Counter()
+            for seed in range(3000):
+                wr = WeightedReservoir(2, seed=seed, use_jumps=use_jumps)
+                for i in range(10):
+                    wr.offer(i, float(1 + (i % 3)))
+                counts.update(wr.items())
+            return counts
+
+        jump = frequencies(True)
+        plain = frequencies(False)
+        for i in range(10):
+            assert abs(jump[i] - plain[i]) < 5 * (max(jump[i], plain[i]) ** 0.5)

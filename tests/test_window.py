@@ -1,0 +1,98 @@
+"""Unit tests for SlidingWindowClusterer."""
+
+import pytest
+
+from repro.core import ClustererConfig, SlidingWindowClusterer, StreamingGraphClusterer
+from repro.errors import UnsupportedOperationError
+from repro.streams import add_edge, add_vertex, delete_edge
+
+
+def make(window=5, capacity=100) -> SlidingWindowClusterer:
+    return SlidingWindowClusterer(
+        ClustererConfig(reservoir_capacity=capacity), window=window
+    )
+
+
+class TestWindowSemantics:
+    def test_edges_expire(self):
+        w = make(window=3)
+        w.apply(add_edge(1, 2))
+        w.apply(add_edge(3, 4))
+        w.apply(add_edge(5, 6))
+        assert w.same_cluster(1, 2)
+        w.apply(add_edge(7, 8))  # pushes (1, 2) out
+        assert not w.same_cluster(1, 2)
+        assert w.num_live_edges == 3
+
+    def test_reoccurrence_refreshes(self):
+        w = make(window=3)
+        w.apply(add_edge(1, 2))
+        w.apply(add_edge(3, 4))
+        w.apply(add_edge(1, 2))  # second copy
+        w.apply(add_edge(5, 6))  # expires the *first* copy only
+        assert w.same_cluster(1, 2)
+        w.apply(add_edge(7, 8))
+        w.apply(add_edge(9, 10))  # now the second copy expires too
+        assert not w.same_cluster(1, 2)
+
+    def test_window_fill_bounded(self):
+        w = make(window=4)
+        for i in range(20):
+            w.apply(add_edge(i, i + 1))
+        assert w.window_fill == 4
+        assert w.num_live_edges == 4
+
+    def test_vertex_adds_pass_through(self):
+        w = make()
+        w.apply(add_vertex(99))
+        assert 99 in w.snapshot()
+
+    def test_deletions_rejected(self):
+        w = make()
+        w.apply(add_edge(1, 2))
+        with pytest.raises(UnsupportedOperationError):
+            w.apply(delete_edge(1, 2))
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            make(window=0)
+
+    def test_process_and_repr(self):
+        w = make(window=2).process([add_edge(1, 2), add_edge(3, 4)])
+        assert "fill=2" in repr(w)
+        assert w.num_clusters >= 2
+
+    def test_cluster_members_delegates(self):
+        w = make(window=10)
+        w.apply(add_edge(1, 2))
+        assert w.cluster_members(1) == {1, 2}
+
+
+class TestEquivalenceWithExplicitDeletes:
+    def test_matches_manual_add_delete_stream(self):
+        """The windowed clusterer must equal a plain clusterer fed the
+        expanded add/delete stream (same config/seed => same sampling)."""
+        window = 6
+        edges = [(i % 9, (i + 1) % 9 + 10) for i in range(40)]
+        w = SlidingWindowClusterer(
+            ClustererConfig(reservoir_capacity=50, seed=3), window=window
+        )
+        manual = StreamingGraphClusterer(ClustererConfig(reservoir_capacity=50, seed=3))
+        from collections import Counter, deque
+
+        recent: deque = deque()
+        multiplicity: Counter = Counter()
+        for u, v in edges:
+            w.apply(add_edge(u, v))
+            edge = (min(u, v), max(u, v))
+            recent.append(edge)
+            multiplicity[edge] += 1
+            if multiplicity[edge] == 1:
+                manual.apply(add_edge(*edge))
+            while len(recent) > window:
+                expired = recent.popleft()
+                multiplicity[expired] -= 1
+                if multiplicity[expired] == 0:
+                    del multiplicity[expired]
+                    manual.apply(delete_edge(*expired))
+            assert w.snapshot() == manual.snapshot()
