@@ -1,0 +1,129 @@
+"""E13 — checkpointing overhead and recovery fidelity (extension).
+
+A long-lived streaming deployment checkpoints periodically so a crash
+replays only the stream tail. Two costs matter operationally:
+
+* the *latency* of one atomic save/load (scales with reservoir
+  capacity, not stream length — lean-mode state is O(capacity));
+* the *throughput overhead* of saving every N events.
+
+Measured on the amazon_like stream: save/load wall time and file size
+at several capacities, then end-to-end ingest throughput at several
+checkpoint intervals against the no-checkpoint baseline. A final
+kill/resume pass asserts the recovery identity contract (restored +
+tail == uninterrupted) on the exact stream being benchmarked.
+
+Expected shape: checkpoint size and latency grow with capacity; the
+throughput tax is proportional to save frequency and modest at
+intervals of a few thousand events.
+"""
+
+import os
+import tempfile
+
+from bench_common import dataset_events, finish, timed
+from repro.bench import ExperimentResult
+from repro.core import ClustererConfig, StreamingGraphClusterer
+from repro.persist import PeriodicCheckpointer, load_checkpoint, save_checkpoint
+
+CAPACITIES = (1000, 5000, 20000)
+INTERVALS = (0, 5000, 1000)
+CAPACITY = 5000
+KILL_AT = 12500
+EVERY = 2000
+
+
+def _config(capacity: int) -> ClustererConfig:
+    return ClustererConfig(
+        reservoir_capacity=capacity, track_graph=False, strict=False, seed=13
+    )
+
+
+def test_e13_checkpoint(benchmark):
+    _, events = dataset_events("amazon_like", seed=13)
+    result = ExperimentResult(
+        "e13_checkpoint",
+        f"checkpoint save/load cost and ingest overhead ({len(events)} "
+        "amazon_like events, lean mode)",
+    )
+
+    def add_row(**values):
+        row = dict.fromkeys(
+            ("measure", "capacity", "every", "file_kib", "save_ms",
+             "load_ms", "events_per_s", "overhead_pct", "detail"), "",
+        )
+        row.update(values)
+        result.rows.append(row)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.rpk")
+
+        # --- save/load latency vs capacity -------------------------------
+        for capacity in CAPACITIES:
+            clusterer = StreamingGraphClusterer(_config(capacity))
+            clusterer.process(events)
+            _, save_s = timed(lambda: save_checkpoint(clusterer, path,
+                                                      position=len(events)))
+            restored, load_s = timed(lambda: load_checkpoint(path))
+            assert restored.clusterer.snapshot() == clusterer.snapshot()
+            add_row(
+                measure="save+load",
+                capacity=capacity,
+                file_kib=round(os.path.getsize(path) / 1024, 1),
+                save_ms=round(save_s * 1e3, 2),
+                load_ms=round(load_s * 1e3, 2),
+            )
+
+        # --- ingest overhead vs checkpoint interval ----------------------
+        def ingest(every: int) -> None:
+            clusterer = StreamingGraphClusterer(_config(CAPACITY))
+            if every == 0:
+                clusterer.process(events)
+            else:
+                PeriodicCheckpointer(clusterer, path, every=every,
+                                     save_initial=False).process(events)
+
+        benchmark.pedantic(lambda: ingest(0), rounds=1, iterations=1)
+
+        baseline_s = None
+        for every in INTERVALS:
+            _, elapsed = timed(lambda e=every: ingest(e))
+            if every == 0:
+                baseline_s = elapsed
+            add_row(
+                measure="ingest",
+                capacity=CAPACITY,
+                every=every or "off",
+                events_per_s=round(len(events) / elapsed),
+                overhead_pct=round(100 * (elapsed / baseline_s - 1), 1),
+            )
+
+        # --- recovery identity on this exact workload --------------------
+        full = StreamingGraphClusterer(_config(CAPACITY)).process(events)
+        pc = PeriodicCheckpointer(StreamingGraphClusterer(_config(CAPACITY)),
+                                  path, every=EVERY)
+        pc.process(events[:KILL_AT])  # "crash" here; state beyond is lost
+        resumed = PeriodicCheckpointer.resume(path, every=EVERY)
+        assert resumed.position == KILL_AT - (KILL_AT % EVERY)
+        replay = len(events) - resumed.position
+        _, recover_s = timed(
+            lambda: resumed.process(resumed.remaining(events))
+        )
+        assert resumed.clusterer.snapshot() == full.snapshot()
+        assert resumed.clusterer.stats.as_dict() == full.stats.as_dict()
+        add_row(
+            measure="kill+resume",
+            capacity=CAPACITY,
+            every=EVERY,
+            detail=(
+                f"killed at {KILL_AT}, replayed {replay} events in "
+                f"{recover_s * 1e3:.0f} ms, output identical"
+            ),
+        )
+
+    finish(result)
+
+    # Sanity floor: a sparse checkpoint cadence costs well under 2x.
+    sparse = next(r for r in result.rows
+                  if r["measure"] == "ingest" and r["every"] == INTERVALS[1])
+    assert sparse["overhead_pct"] < 100

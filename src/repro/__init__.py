@@ -47,11 +47,18 @@ from repro.core import (
     SlidingWindowClusterer,
     StreamingGraphClusterer,
     TimeWindowClusterer,
+    SupervisorConfig,
     Unconstrained,
     WeightedStreamingClusterer,
     cluster_stream_parallel,
 )
-from repro.errors import ReproError, StreamError, UnsupportedOperationError
+from repro.errors import (
+    CheckpointError,
+    ReproError,
+    StreamError,
+    UnsupportedOperationError,
+)
+from repro.persist import PeriodicCheckpointer, load_checkpoint, save_checkpoint
 from repro.quality.partition import Partition
 from repro.streams.events import (
     EdgeEvent,
@@ -65,6 +72,7 @@ from repro.streams.events import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointError",
     "ClusterEvent",
     "ClusterEventKind",
     "ClusterTracker",
@@ -79,10 +87,12 @@ __all__ = [
     "MinClusterCount",
     "MultiResolutionClusterer",
     "Partition",
+    "PeriodicCheckpointer",
     "ReproError",
     "ShardedClusterer",
     "SlidingWindowClusterer",
     "StreamError",
+    "SupervisorConfig",
     "StreamingGraphClusterer",
     "TimeWindowClusterer",
     "Unconstrained",
@@ -94,4 +104,6 @@ __all__ = [
     "cluster_stream_parallel",
     "delete_edge",
     "delete_vertex",
+    "load_checkpoint",
+    "save_checkpoint",
 ]

@@ -10,21 +10,34 @@ without writing Python:
 * ``repro score`` — evaluate a labels file against a graph and/or truth
   labels (modularity, conductance, NMI, ARI, F1).
 
+``repro cluster`` can run as a crash-safe long-lived job: with
+``--checkpoint`` the full clusterer state is persisted atomically every
+``--checkpoint-every`` events, and ``--resume`` restarts from the last
+checkpoint, replaying only the stream tail (identical output to an
+uninterrupted run — see ``docs/robustness.md``).
+
+Malformed inputs exit with code 2 and a one-line message, not a
+traceback; ``--skip-malformed`` tolerates bad lines instead.
+
 Examples
 --------
 ::
 
     repro generate --dataset amazon_like --out graph.edges --truth-out truth.labels
     repro cluster graph.edges --capacity 6000 --max-cluster-size 120 --out found.labels
+    repro cluster graph.edges --capacity 6000 --checkpoint run.ckpt \
+        --checkpoint-every 10000 --resume --out found.labels
     repro score found.labels --graph graph.edges --truth truth.labels
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from repro.errors import ReproError, StreamError
 from repro.core import (
     ClustererConfig,
     CompositeConstraint,
@@ -44,6 +57,13 @@ from repro.quality import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +105,18 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--out", help="labels output path (default: stdout)")
     cluster.add_argument("--min-size", type=int, default=1,
                          help="fold clusters smaller than this into one bucket")
+    cluster.add_argument("--skip-malformed", action="store_true",
+                         help="skip unparseable input lines instead of aborting")
+    cluster.add_argument("--checkpoint", metavar="PATH",
+                         help="persist clusterer state to PATH (atomic, CRC-checked)")
+    cluster.add_argument("--checkpoint-every", type=_nonnegative_int, default=0,
+                         metavar="N",
+                         help="rewrite the checkpoint every N events (0: only at end)")
+    cluster.add_argument("--resume", action="store_true",
+                         help="resume from --checkpoint if it exists, replaying "
+                              "only the stream tail")
+    cluster.add_argument("--inject-kill-after", type=_nonnegative_int, metavar="N",
+                         help=argparse.SUPPRESS)  # testing aid: hard-exit after N events
 
     score = commands.add_parser("score", help="evaluate a clustering")
     score.add_argument("labels", help="vertex<TAB>cluster labels file")
@@ -102,7 +134,7 @@ def _read_labels(path: str) -> Partition:
                 continue
             parts = stripped.split()
             if len(parts) != 2:
-                raise ValueError(f"{path}:{line_number}: expected 'vertex label'")
+                raise StreamError(f"{path}:{line_number}: expected 'vertex label'")
             vertex = _parse(parts[0])
             labels[vertex] = parts[1]
     return Partition(labels)
@@ -172,6 +204,7 @@ def _build_constraint(args: argparse.Namespace) -> ConstraintPolicy:
 
 
 def _run_cluster(args: argparse.Namespace) -> int:
+    from repro.persist import PeriodicCheckpointer
     from repro.streams import insert_only_stream, read_edge_list, read_event_stream
 
     config = ClustererConfig(
@@ -182,11 +215,53 @@ def _run_cluster(args: argparse.Namespace) -> int:
         strict=False,
         seed=args.seed,
     )
-    clusterer = StreamingGraphClusterer(config)
+    strict_io = not args.skip_malformed
+    io_errors: List[str] = []
     if args.events:
-        clusterer.process(read_event_stream(args.input))
+        stream = read_event_stream(args.input, strict=strict_io, errors=io_errors)
     else:
-        clusterer.process(insert_only_stream(read_edge_list(args.input), seed=args.seed))
+        edges = read_edge_list(args.input, strict=strict_io, errors=io_errors)
+        stream = insert_only_stream(edges, seed=args.seed)
+
+    checkpointer: Optional[PeriodicCheckpointer] = None
+    if args.checkpoint and args.resume and os.path.exists(args.checkpoint):
+        checkpointer = PeriodicCheckpointer.resume(
+            args.checkpoint, every=args.checkpoint_every
+        )
+        clusterer = checkpointer.clusterer
+        if not isinstance(clusterer, StreamingGraphClusterer):
+            from repro.errors import CheckpointError
+
+            raise CheckpointError(
+                f"{args.checkpoint} holds a {type(clusterer).__name__} "
+                "checkpoint; `repro cluster` resumes single clusterers only"
+            )
+        stream = checkpointer.remaining(stream)
+        print(
+            f"resumed from {args.checkpoint} at event {checkpointer.position}",
+            file=sys.stderr,
+        )
+    else:
+        clusterer = StreamingGraphClusterer(config)
+        if args.checkpoint:
+            checkpointer = PeriodicCheckpointer(
+                clusterer, args.checkpoint, every=args.checkpoint_every
+            )
+
+    if args.inject_kill_after is not None:
+        from repro.util.faults import kill_at_event
+
+        stream = kill_at_event(
+            stream, args.inject_kill_after, action=lambda: os._exit(3)
+        )
+
+    if checkpointer is not None:
+        checkpointer.process(stream)
+        checkpointer.save()
+    else:
+        clusterer.process(stream)
+    if io_errors:
+        print(f"skipped {len(io_errors)} malformed input lines", file=sys.stderr)
     snapshot = clusterer.snapshot()
     if args.min_size > 1:
         snapshot = snapshot.merged_small_clusters(min_size=args.min_size)
@@ -195,7 +270,7 @@ def _run_cluster(args: argparse.Namespace) -> int:
     print(
         f"processed {stats.events} events: {snapshot.num_clusters} clusters, "
         f"largest {snapshot.max_cluster_size}, reservoir "
-        f"{clusterer.reservoir_size}/{config.reservoir_capacity}, "
+        f"{clusterer.reservoir_size}/{clusterer.config.reservoir_capacity}, "
         f"{stats.vetoes} constraint vetoes",
         file=sys.stderr,
     )
@@ -222,13 +297,21 @@ def _run_score(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (malformed inputs, corrupted checkpoints, …) exit
+    with code 2 and a one-line message on stderr instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
-    if args.command == "generate":
-        return _run_generate(args)
-    if args.command == "cluster":
-        return _run_cluster(args)
-    return _run_score(args)
+    try:
+        if args.command == "generate":
+            return _run_generate(args)
+        if args.command == "cluster":
+            return _run_cluster(args)
+        return _run_score(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

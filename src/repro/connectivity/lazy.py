@@ -41,6 +41,20 @@ class LazyRebuildConnectivity(DynamicConnectivity):
         self._union: Optional[UnionFind] = None  # None = dirty
         self.rebuilds = 0  # exposed for the cost-model benchmarks
 
+    @property
+    def dirty(self) -> bool:
+        """True if the union-find cache is invalidated (pending rebuild)."""
+        return self._union is None
+
+    def mark_dirty(self) -> None:
+        """Invalidate the cache explicitly.
+
+        Used by checkpoint restore: the conservative merge/split return
+        values depend on dirtiness, so a restored structure must reproduce
+        it to keep replayed statistics identical.
+        """
+        self._union = None
+
     def _fresh(self) -> UnionFind:
         """The union-find cache, rebuilding it if dirty."""
         if self._union is None:

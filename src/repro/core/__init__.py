@@ -20,7 +20,12 @@ from repro.core.constraints import (
     MinClusterCount,
     Unconstrained,
 )
-from repro.core.sharded import ShardedClusterer, ShardResult, cluster_stream_parallel
+from repro.core.sharded import (
+    ShardedClusterer,
+    ShardResult,
+    SupervisorConfig,
+    cluster_stream_parallel,
+)
 from repro.core.tracking import (
     ClusterEvent,
     ClusterEventKind,
@@ -48,6 +53,7 @@ __all__ = [
     "TrackingReport",
     "ShardedClusterer",
     "SlidingWindowClusterer",
+    "SupervisorConfig",
     "TimeWindowClusterer",
     "StreamingGraphClusterer",
     "Unconstrained",

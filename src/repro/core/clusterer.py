@@ -216,7 +216,11 @@ class StreamingGraphClusterer:
         )
         for vertex in self._graph.vertices():
             self._conn.add_vertex(vertex)
-        edges = self._graph.edge_list()
+        # Sort before shuffling: edge_list() order reflects adjacency-set
+        # layout, which is not reproducible across processes (string
+        # hashing) or checkpoint restores; sorting makes the shuffled
+        # order a pure function of the edge set and the rebuild RNG.
+        edges = sorted(self._graph.edge_list(), key=repr)
         self._rebuild_rng.shuffle(edges)
         for edge in edges:
             proposal = self._reservoir.propose_insert(edge)
@@ -230,6 +234,64 @@ class StreamingGraphClusterer:
             if proposal.evicted is not None:
                 self._conn.delete_edge(*proposal.evicted)
             self._conn.insert_edge(*edge)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Complete serializable state for checkpointing.
+
+        The connectivity structure is *not* serialized: it holds exactly
+        the sampled edges, so it is rebuilt from the reservoir and the
+        vertex set on restore. Component structure (the clustering) is
+        an exact function of those, so the rebuilt structure answers
+        every query identically; only its internal balancing randomness
+        differs, which is unobservable.
+        """
+        return {
+            "config": self.config,
+            "stats": self.stats.as_dict(),
+            "reservoir": self._reservoir.get_state(),
+            "conn_vertices": list(self._conn.vertices()),
+            "conn_dirty": bool(getattr(self._conn, "dirty", False)),
+            "rebuild_rng_state": self._rebuild_rng.getstate(),
+            "graph": self._graph.get_state() if self._graph is not None else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingGraphClusterer":
+        """Reconstruct a clusterer from :meth:`get_state` output.
+
+        The restored clusterer replays any stream tail to the *identical*
+        partition, stats, and reservoir as an uninterrupted run: reservoir
+        RNG state and slot order, the rebuild RNG, and the tracked graph
+        are exact, and connectivity answers are exact by construction.
+        """
+        config: ClustererConfig = state["config"]
+        clusterer = cls(config)
+        clusterer.stats = ClustererStats(**state["stats"])
+        clusterer._reservoir = RandomPairingReservoir.from_state(state["reservoir"])
+        resamples = clusterer.stats.resamples
+        conn_seed = (
+            child_seed(config.seed, "connectivity")
+            if resamples == 0
+            else child_seed(config.seed, "connectivity", resamples)
+        )
+        conn = make_connectivity(config.connectivity_backend, seed=conn_seed)
+        for vertex in state["conn_vertices"]:
+            conn.add_vertex(vertex)
+        for u, v in clusterer._reservoir.items():
+            conn.insert_edge(u, v)
+        if state.get("conn_dirty") and hasattr(conn, "mark_dirty"):
+            conn.mark_dirty()
+        clusterer._conn = conn
+        clusterer._rebuild_rng = make_rng(0)
+        clusterer._rebuild_rng.setstate(state["rebuild_rng_state"])
+        graph_state = state["graph"]
+        clusterer._graph = (
+            AdjacencyGraph.from_state(graph_state) if graph_state is not None else None
+        )
+        return clusterer
 
     # ------------------------------------------------------------------
     # Clustering queries

@@ -21,8 +21,11 @@ Two drivers are provided:
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from queue import Empty
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.connectivity.union_find import UnionFind
 from repro.core.clusterer import StreamingGraphClusterer
@@ -32,26 +35,50 @@ from repro.streams.events import Edge, EdgeEvent, EventKind, Vertex
 from repro.util.rng import child_seed
 from repro.util.validation import check_positive
 
-__all__ = ["ShardedClusterer", "ShardResult", "cluster_stream_parallel"]
+__all__ = [
+    "ShardedClusterer",
+    "ShardResult",
+    "SupervisorConfig",
+    "cluster_stream_parallel",
+]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _stable_vertex_key(v: Vertex) -> int:
+    """A process-stable 64-bit key for an arbitrary vertex id.
+
+    Integers key as themselves. Everything else is hashed FNV-1a over
+    the UTF-8 bytes of its ``repr`` — unlike builtin ``hash()``, which
+    is salted by ``PYTHONHASHSEED`` for strings and would route the same
+    vertex to different shards in different processes, breaking both the
+    multiprocessing driver and checkpoint recovery.
+    """
+    if isinstance(v, int) and not isinstance(v, bool):
+        return v
+    key = 0xCBF29CE484222325
+    for byte in repr(v).encode("utf-8"):
+        key = ((key ^ byte) * 0x100000001B3) & _MASK64
+    return key
 
 
 def _shard_of(edge: Edge, num_shards: int) -> int:
     """Deterministic shard routing for an edge.
 
-    Integer endpoints (the common case) use an explicit mixing function
-    so routing is stable across processes and runs regardless of
-    ``PYTHONHASHSEED``; other vertex types fall back to ``hash``.
+    Endpoint keys are combined and passed through a splitmix64-style
+    finalizer: low bits must be well mixed, since structured ids (e.g.
+    community = id mod k) otherwise correlate with the shard index and
+    wreck the balance. Stable across processes and runs regardless of
+    ``PYTHONHASHSEED`` for *all* vertex types.
     """
     u, v = edge
-    if isinstance(u, int) and isinstance(v, int):
-        # splitmix64-style finalizer: low bits must be well mixed, since
-        # structured ids (e.g. community = id mod k) otherwise correlate
-        # with the shard index and wreck the balance.
-        x = (u * 0x9E3779B97F4A7C15 + v * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
-        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
-        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
-        return (x ^ (x >> 31)) % num_shards
-    return hash(edge) % num_shards
+    x = (
+        _stable_vertex_key(u) * 0x9E3779B97F4A7C15
+        + _stable_vertex_key(v) * 0xBF58476D1CE4E5B9
+    ) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) % num_shards
 
 
 def _shard_config(config: ClustererConfig, shard: int, num_shards: int) -> ClustererConfig:
@@ -136,6 +163,38 @@ class ShardedClusterer:
         return self
 
     # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Complete serializable state: config, routing counters, and
+        one sub-state per shard (see
+        :meth:`StreamingGraphClusterer.get_state`)."""
+        return {
+            "config": self.config,
+            "num_shards": self.num_shards,
+            "shard_events": list(self.shard_events),
+            "shards": [shard.get_state() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ShardedClusterer":
+        """Reconstruct a sharded clusterer from :meth:`get_state` output."""
+        sharded = cls(state["config"], state["num_shards"])
+        shard_states = state["shards"]
+        if len(shard_states) != sharded.num_shards:
+            raise ValueError(
+                f"checkpoint has {len(shard_states)} shard states for "
+                f"num_shards={sharded.num_shards}"
+            )
+        sharded.shards = [
+            StreamingGraphClusterer.from_state(shard_state)
+            for shard_state in shard_states
+        ]
+        sharded.shard_events = list(state["shard_events"])
+        sharded._merged = None
+        return sharded
+
+    # ------------------------------------------------------------------
     # Merged clustering
     # ------------------------------------------------------------------
     def _merge(self) -> Partition:
@@ -208,22 +267,70 @@ class ShardedClusterer:
 
 
 # ----------------------------------------------------------------------
-# Multiprocessing driver
+# Multiprocessing driver (supervised)
 # ----------------------------------------------------------------------
 @dataclass
 class ShardResult:
-    """What a shard worker returns: its sample and the vertices it saw."""
+    """What a shard worker returns: its sample and the vertices it saw.
+
+    When a shard exhausts its retry budget under supervision, a
+    *tombstone* result is recorded instead (``failed=True``, empty
+    sample) so the merge can degrade gracefully rather than hang.
+    """
 
     shard: int
     sampled_edges: List[Edge]
     vertices: List[Vertex]
     events: int
+    attempts: int = 1
+    failed: bool = False
+    error: Optional[str] = None
 
 
-def _process_shard(
-    args: Tuple[int, ClustererConfig, int, Sequence[EdgeEvent]],
+@dataclass
+class SupervisorConfig:
+    """Fault-tolerance policy for :func:`cluster_stream_parallel`.
+
+    Each shard attempt runs in its own worker process with a wall-clock
+    ``timeout``; a worker that crashes, hangs past the timeout, or exits
+    without reporting is retried with exponential backoff
+    (``backoff * backoff_factor ** (attempt - 1)`` seconds) up to
+    ``max_attempts`` total attempts. A shard that fails permanently is
+    dropped from the merge with a warning and a tombstone
+    :class:`ShardResult` — the run degrades instead of hanging.
+    """
+
+    timeout: Optional[float] = 60.0
+    max_attempts: int = 3
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    poll_interval: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive("max_attempts", self.max_attempts)
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {self.timeout}")
+        if self.backoff < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 and backoff_factor >= 1.0")
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff before ``attempt`` (attempts count from 1; no delay
+        before the first)."""
+        if attempt <= 1:
+            return 0.0
+        return self.backoff * self.backoff_factor ** (attempt - 2)
+
+
+def _run_shard(
+    shard: int,
+    config: ClustererConfig,
+    num_shards: int,
+    events: Sequence[EdgeEvent],
+    fault,
+    attempt: int,
 ) -> ShardResult:
-    shard, config, num_shards, events = args
+    if fault is not None:
+        fault(shard, attempt)
     clusterer = StreamingGraphClusterer(_shard_config(config, shard, num_shards))
     clusterer.process(events)
     return ShardResult(
@@ -231,7 +338,189 @@ def _process_shard(
         sampled_edges=clusterer.reservoir_edges(),
         vertices=list(clusterer.vertices()),
         events=len(events),
+        attempts=attempt,
     )
+
+
+def _process_shard(
+    args: Tuple[int, ClustererConfig, int, Sequence[EdgeEvent]],
+) -> ShardResult:
+    shard, config, num_shards, events = args
+    return _run_shard(shard, config, num_shards, events, None, 1)
+
+
+def _worker_entry(task, fault, attempt: int, queue) -> None:
+    """Worker process body: run the shard, report the outcome.
+
+    A hard crash (``os._exit``, OOM kill, segfault) reports nothing; the
+    supervisor detects the dead process and treats it as a failed
+    attempt. Soft exceptions are reported so their message survives into
+    the tombstone result.
+    """
+    shard = task[0]
+    try:
+        result = _run_shard(*task, fault, attempt)
+        queue.put((shard, "ok", result))
+    except BaseException as error:  # noqa: BLE001 - must never escape silently
+        try:
+            queue.put((shard, "error", f"{type(error).__name__}: {error}"))
+        finally:
+            return
+
+
+def _fail_shard(shard: int, bucket_len: int, attempts: int, error: str) -> ShardResult:
+    warnings.warn(
+        f"shard {shard} failed permanently after {attempts} attempt(s) "
+        f"({error}); dropping its sample from the merge",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return ShardResult(
+        shard=shard,
+        sampled_edges=[],
+        vertices=[],
+        events=bucket_len,
+        attempts=attempts,
+        failed=True,
+        error=error,
+    )
+
+
+def _run_supervised_inline(
+    tasks, supervisor: SupervisorConfig, fault
+) -> List[ShardResult]:
+    """Sequential supervised execution (``pool_processes <= 1``).
+
+    Crashing workers are retried with backoff exactly as in the process
+    mode; hangs cannot be interrupted without a process boundary, so
+    ``timeout`` is not enforced here (documented in docs/robustness.md).
+    """
+    results: List[ShardResult] = []
+    for task in tasks:
+        shard, _, _, bucket = task
+        last_error = "unknown"
+        for attempt in range(1, supervisor.max_attempts + 1):
+            delay = supervisor.delay_before(attempt)
+            if delay:
+                time.sleep(delay)
+            try:
+                results.append(_run_shard(*task, fault, attempt))
+                break
+            except Exception as error:  # simulated or real worker crash
+                last_error = f"{type(error).__name__}: {error}"
+        else:
+            results.append(
+                _fail_shard(shard, len(bucket), supervisor.max_attempts, last_error)
+            )
+    return results
+
+
+def _run_supervised_pool(
+    tasks, supervisor: SupervisorConfig, fault, processes: int
+) -> List[ShardResult]:
+    """Run shard attempts in supervised worker processes.
+
+    At most ``processes`` workers run concurrently. Each has a deadline;
+    deadline overruns are terminated. Failed attempts (crash, timeout,
+    exit-without-result) are rescheduled with backoff until the attempt
+    budget is spent, at which point the shard gets a tombstone result.
+    """
+    import multiprocessing
+
+    ctx = multiprocessing.get_context()
+    queue = ctx.Queue()
+    monotonic = time.monotonic
+
+    by_shard = {task[0]: task for task in tasks}
+    attempts: Dict[int, int] = {shard: 0 for shard in by_shard}
+    last_error: Dict[int, str] = {}
+    results: Dict[int, ShardResult] = {}
+    # (ready_time, shard) — shards waiting for a free worker slot.
+    waiting: List[Tuple[float, int]] = [(0.0, task[0]) for task in tasks]
+    running: Dict[int, Tuple[object, float]] = {}  # shard -> (process, deadline)
+
+    def reap(shard: int, process, error: str) -> None:
+        process.join(timeout=5.0)
+        last_error[shard] = error
+        if attempts[shard] >= supervisor.max_attempts:
+            bucket = by_shard[shard][3]
+            results[shard] = _fail_shard(shard, len(bucket), attempts[shard], error)
+        else:
+            retry_at = monotonic() + supervisor.delay_before(attempts[shard] + 1)
+            waiting.append((retry_at, shard))
+
+    while waiting or running:
+        now = monotonic()
+        # Launch ready shards into free slots.
+        waiting.sort()
+        while waiting and waiting[0][0] <= now and len(running) < processes:
+            _, shard = waiting.pop(0)
+            attempts[shard] += 1
+            process = ctx.Process(
+                target=_worker_entry,
+                args=(by_shard[shard], fault, attempts[shard], queue),
+                daemon=True,
+            )
+            process.start()
+            deadline = (
+                now + supervisor.timeout if supervisor.timeout is not None
+                else float("inf")
+            )
+            running[shard] = (process, deadline)
+
+        # Drain finished workers (results must be consumed before join).
+        while True:
+            try:
+                shard, status, payload = queue.get_nowait()
+            except Empty:
+                break
+            entry = running.pop(shard, None)
+            if entry is None:
+                continue  # late report from a terminated worker
+            process, _ = entry
+            if status == "ok":
+                results[shard] = payload
+                process.join(timeout=5.0)
+            else:
+                reap(shard, process, payload)
+
+        # Enforce deadlines and notice silent deaths.
+        now = monotonic()
+        for shard in list(running):
+            process, deadline = running[shard]
+            if now > deadline:
+                running.pop(shard)
+                process.terminate()
+                reap(shard, process, f"timeout after {supervisor.timeout}s")
+            elif not process.is_alive():
+                # Dead without reporting: give the queue feeder one tick
+                # to deliver, then treat as a hard crash.
+                time.sleep(supervisor.poll_interval)
+                try:
+                    late_shard, status, payload = queue.get_nowait()
+                except Empty:
+                    running.pop(shard)
+                    reap(
+                        shard,
+                        process,
+                        f"worker died without result (exitcode {process.exitcode})",
+                    )
+                else:
+                    entry = running.pop(late_shard, None)
+                    if entry is None:
+                        continue
+                    late_process, _ = entry
+                    if status == "ok":
+                        results[late_shard] = payload
+                        late_process.join(timeout=5.0)
+                    else:
+                        reap(late_shard, late_process, payload)
+
+        if running:
+            time.sleep(supervisor.poll_interval)
+
+    queue.close()
+    return [results[task[0]] for task in tasks]
 
 
 def cluster_stream_parallel(
@@ -239,14 +528,23 @@ def cluster_stream_parallel(
     config: ClustererConfig,
     num_shards: int,
     pool_processes: int | None = None,
+    supervisor: SupervisorConfig | None = None,
+    fault=None,
 ) -> Tuple[Partition, List[ShardResult]]:
-    """Cluster a finite stream with one process per shard.
+    """Cluster a finite stream with one supervised process per shard.
 
-    The stream is hash-partitioned by edge, shards are processed in a
-    ``multiprocessing`` pool (or inline when ``pool_processes`` is 0/1 or
-    ``num_shards == 1``), and the shard samples are merged into the final
-    partition. Only edge events are supported here — broadcast vertex
-    events need the online :class:`ShardedClusterer`.
+    The stream is hash-partitioned by edge, shards are processed in
+    worker processes (or inline when ``pool_processes`` is 0/1 or
+    ``num_shards == 1``), and the shard samples are merged into the
+    final partition. Only edge events are supported here — broadcast
+    vertex events need the online :class:`ShardedClusterer`.
+
+    Pass a :class:`SupervisorConfig` to run under supervision: per-worker
+    timeouts, bounded retry with exponential backoff, and graceful
+    degradation (permanently failed shards are dropped from the merge
+    with a warning and a ``failed=True`` tombstone in the results).
+    ``fault`` injects a deterministic :class:`~repro.util.faults.ShardFault`
+    into workers, for testing; providing one implies supervision.
     """
     check_positive("num_shards", num_shards)
     buckets: List[List[EdgeEvent]] = [[] for _ in range(num_shards)]
@@ -259,21 +557,33 @@ def cluster_stream_parallel(
         buckets[_shard_of(event.edge, num_shards)].append(event)
 
     tasks = [(i, config, num_shards, bucket) for i, bucket in enumerate(buckets)]
-    if num_shards == 1 or (pool_processes is not None and pool_processes <= 1):
-        results = [_process_shard(task) for task in tasks]
+    if fault is not None and supervisor is None:
+        supervisor = SupervisorConfig()
+    inline = num_shards == 1 or (pool_processes is not None and pool_processes <= 1)
+    if supervisor is None:
+        if inline:
+            results = [_process_shard(task) for task in tasks]
+        else:
+            import multiprocessing
+
+            processes = pool_processes or min(num_shards, multiprocessing.cpu_count())
+            with multiprocessing.Pool(processes=processes) as pool:
+                results = pool.map(_process_shard, tasks)
+    elif inline:
+        results = _run_supervised_inline(tasks, supervisor, fault)
     else:
         import multiprocessing
 
         processes = pool_processes or min(num_shards, multiprocessing.cpu_count())
-        with multiprocessing.Pool(processes=processes) as pool:
-            results = pool.map(_process_shard, tasks)
+        results = _run_supervised_pool(tasks, supervisor, fault, processes)
 
     union = UnionFind()
     view = _UnionFindConstraintView(union)
-    for result in results:
+    live = [result for result in results if not result.failed]
+    for result in live:
         for vertex in result.vertices:
             union.add(vertex)
-    for result in results:
+    for result in live:
         for u, v in result.sampled_edges:
             if config.constraint.allows(view, u, v):
                 union.union(u, v)

@@ -2,18 +2,34 @@
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "StreamError", "UnsupportedOperationError"]
+__all__ = [
+    "CheckpointError",
+    "ReproError",
+    "StreamError",
+    "UnsupportedOperationError",
+]
 
 
 class ReproError(Exception):
     """Base class for all library-specific errors."""
 
 
-class StreamError(ReproError):
-    """A malformed stream event (duplicate add, delete of absent edge, …).
+class StreamError(ReproError, ValueError):
+    """A malformed stream event or stream file (duplicate add, delete of
+    an absent edge, an unparseable line, …).
 
-    Raised only under ``strict`` stream validation; non-strict clusterers
-    count and skip malformed events instead.
+    Raised under ``strict`` stream validation; non-strict consumers count
+    and skip malformed input instead. Subclasses ``ValueError`` so
+    pre-existing callers that catch the historical exception keep working.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file cannot be trusted or understood.
+
+    Raised for missing/unreadable files, wrong magic, unsupported format
+    versions, truncation, CRC mismatches, and undecodable or structurally
+    invalid payloads. A corrupted checkpoint is *never* loaded silently.
     """
 
 

@@ -193,6 +193,25 @@ class AdjacencyGraph:
         clone._num_edges = self._num_edges
         return clone
 
+    def get_state(self) -> dict:
+        """Serializable state: vertices and edges in iteration order.
+
+        Vertex order matters — the adjacency dict is insertion-ordered
+        and downstream consumers (e.g. the resample policy) iterate it,
+        so a restored graph must present vertices in the same order.
+        """
+        return {"vertices": list(self._adj), "edges": self.edge_list()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AdjacencyGraph":
+        """Reconstruct a graph from :meth:`get_state` output."""
+        graph = cls()
+        for v in state["vertices"]:
+            graph.add_vertex(v)
+        for u, v in state["edges"]:
+            graph.add_edge(u, v)
+        return graph
+
     def __contains__(self, v: Vertex) -> bool:
         return v in self._adj
 

@@ -1,0 +1,41 @@
+"""Crash-safe persistence and recovery for streaming clusterers.
+
+The stream is unbounded; the process is not. This package makes the
+clusterer a restartable long-lived service:
+
+* :mod:`repro.persist.format` — the on-disk container: magic, format
+  version, payload length, CRC32, atomic write-rename.
+* :mod:`repro.persist.checkpoint` — :func:`save_checkpoint` /
+  :func:`load_checkpoint` for both :class:`StreamingGraphClusterer` and
+  :class:`ShardedClusterer`, plus :class:`PeriodicCheckpointer`.
+
+Recovery contract: restore + replay-tail is bit-identical to an
+uninterrupted run (same seed) — partition, statistics, and reservoir.
+See ``docs/robustness.md`` for format details and operational guidance.
+"""
+
+from repro.persist.checkpoint import (
+    STATE_VERSION,
+    Checkpoint,
+    PeriodicCheckpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.persist.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    read_container,
+    write_container,
+)
+
+__all__ = [
+    "Checkpoint",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "PeriodicCheckpointer",
+    "STATE_VERSION",
+    "load_checkpoint",
+    "read_container",
+    "save_checkpoint",
+    "write_container",
+]

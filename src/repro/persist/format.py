@@ -1,0 +1,131 @@
+"""The on-disk checkpoint container: versioned, checksummed, atomic.
+
+Layout (all integers big-endian)::
+
+    offset  size  field
+    0       8     magic  b"RPROCKPT"
+    8       2     format version (currently 1)
+    10      8     payload length in bytes
+    18      4     CRC32 of the payload
+    22      ...   payload (pickle protocol <= 4 of a plain dict)
+
+Writes are **atomic**: the container is serialized to a temporary file
+in the target directory, flushed and fsynced, then moved over the
+destination with ``os.replace``. A crash mid-write therefore leaves
+either the old checkpoint or the new one — never a torn file — and any
+torn/corrupted/alien file is rejected at read time with
+:class:`~repro.errors.CheckpointError`.
+
+Pickle is the payload codec because clusterer state contains arbitrary
+hashable vertex ids and exact ``random.Random`` states; the surrounding
+header makes corruption detectable before unpickling ever runs. Only
+load checkpoints you wrote yourself — the usual pickle caveat.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Union
+
+from repro.errors import CheckpointError
+
+__all__ = ["FORMAT_VERSION", "MAGIC", "read_container", "write_container"]
+
+MAGIC = b"RPROCKPT"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct(">8sHQI")  # magic, version, payload length, CRC32
+HEADER_SIZE = _HEADER.size
+
+PathLike = Union[str, Path]
+
+
+def encode_container(payload: dict) -> bytes:
+    """Serialize ``payload`` into the framed checkpoint byte format."""
+    try:
+        body = pickle.dumps(payload, protocol=4)
+    except Exception as error:  # unpicklable state is a caller bug
+        raise CheckpointError(f"checkpoint payload is not serializable: {error}")
+    header = _HEADER.pack(MAGIC, FORMAT_VERSION, len(body), zlib.crc32(body))
+    return header + body
+
+
+def decode_container(data: bytes, *, source: str = "<bytes>") -> dict:
+    """Parse and verify framed checkpoint bytes; the inverse of
+    :func:`encode_container`. Raises :class:`CheckpointError` on any
+    mismatch — magic, version, length, checksum, or payload decoding."""
+    if len(data) < HEADER_SIZE:
+        raise CheckpointError(
+            f"{source}: too short to be a checkpoint "
+            f"({len(data)} bytes < {HEADER_SIZE}-byte header)"
+        )
+    magic, version, length, crc = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise CheckpointError(f"{source}: not a repro checkpoint (bad magic)")
+    if version > FORMAT_VERSION or version < 1:
+        raise CheckpointError(
+            f"{source}: unsupported checkpoint format version {version} "
+            f"(this build reads <= {FORMAT_VERSION})"
+        )
+    body = data[HEADER_SIZE:]
+    if len(body) != length:
+        raise CheckpointError(
+            f"{source}: truncated checkpoint "
+            f"(payload {len(body)} bytes, header promises {length})"
+        )
+    if zlib.crc32(body) != crc:
+        raise CheckpointError(f"{source}: checksum mismatch (corrupted payload)")
+    try:
+        payload = pickle.loads(body)
+    except Exception as error:
+        raise CheckpointError(f"{source}: undecodable checkpoint payload: {error}")
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"{source}: unexpected payload type {type(payload).__name__}"
+        )
+    return payload
+
+
+def write_container(path: PathLike, payload: dict) -> int:
+    """Atomically write ``payload`` as a checkpoint file; returns its size.
+
+    The temporary file lives in the destination directory so
+    ``os.replace`` is a same-filesystem atomic rename. On any failure
+    the temporary file is removed and the previous checkpoint (if any)
+    is left untouched.
+    """
+    data = encode_container(payload)
+    target = os.fspath(path)
+    tmp = f"{target}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return len(data)
+
+
+def read_container(path: PathLike) -> dict:
+    """Read and verify a checkpoint file written by :func:`write_container`.
+
+    Raises :class:`CheckpointError` for missing or unreadable files as
+    well as for any structural damage.
+    """
+    target = os.fspath(path)
+    try:
+        with open(target, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {target!r}: {error}")
+    return decode_container(data, source=target)

@@ -152,6 +152,42 @@ class RandomPairingReservoir(Generic[T]):
         return self._sample.items()
 
     # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Complete serializable state of the sampler.
+
+        The sample is exported *in internal slot order* — eviction picks
+        a victim by slot index, so order (not just membership) must
+        survive a round-trip for replay determinism. The RNG state is
+        exported exactly via ``random.Random.getstate``.
+        """
+        return {
+            "capacity": self._capacity,
+            "items": self._sample.items(),
+            "population": self._population,
+            "c_bad": self._c_bad,
+            "c_good": self._c_good,
+            "rng_state": self._rng.getstate(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RandomPairingReservoir[T]":
+        """Reconstruct a sampler from :meth:`get_state` output.
+
+        The restored sampler makes bit-identical future decisions: the
+        RNG state, counters, and sample slot order are all exact.
+        """
+        sampler: "RandomPairingReservoir[T]" = cls(state["capacity"], seed=0)
+        sampler._rng.setstate(state["rng_state"])
+        for item in state["items"]:
+            sampler._sample.add(item)
+        sampler._population = state["population"]
+        sampler._c_bad = state["c_bad"]
+        sampler._c_good = state["c_good"]
+        return sampler
+
+    # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
     def propose_insert(self, item: T) -> InsertProposal[T]:

@@ -13,13 +13,19 @@ Formats
     -v u       # delete vertex
 
 Vertex ids are parsed as ints when possible, kept as strings otherwise.
+
+Error handling mirrors the clusterer's ``strict`` semantics: by default
+a malformed line raises :class:`~repro.errors.StreamError` with
+``file:line`` context; with ``strict=False`` malformed lines are skipped
+and (optionally) collected, so a long ingest survives a few bad records.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, List, TextIO, Union
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
 
+from repro.errors import StreamError
 from repro.streams.events import (
     Edge,
     EdgeEvent,
@@ -46,6 +52,12 @@ def _open_for_read(source: PathOrFile):
     return source, False
 
 
+def _source_name(source: PathOrFile) -> str:
+    if isinstance(source, (str, Path)):
+        return str(source)
+    return getattr(source, "name", "<stream>")
+
+
 def _open_for_write(target: PathOrFile):
     if isinstance(target, (str, Path)):
         return open(target, "w", encoding="utf-8"), True
@@ -59,8 +71,20 @@ def _parse_vertex(token: str):
         return token
 
 
-def read_edge_list(source: PathOrFile) -> List[Edge]:
-    """Parse an edge-list file; skips comments, blanks, and self-loops."""
+def read_edge_list(
+    source: PathOrFile,
+    *,
+    strict: bool = True,
+    errors: Optional[List[str]] = None,
+) -> List[Edge]:
+    """Parse an edge-list file; skips comments, blanks, and self-loops.
+
+    A malformed line raises :class:`StreamError` with ``file:line``
+    context when ``strict`` (the default). With ``strict=False`` it is
+    skipped instead; pass a list as ``errors`` to collect one message
+    per skipped line (``len(errors)`` is the malformed-line count).
+    """
+    name = _source_name(source)
     handle, owned = _open_for_read(source)
     try:
         edges: List[Edge] = []
@@ -70,7 +94,12 @@ def read_edge_list(source: PathOrFile) -> List[Edge]:
                 continue
             parts = stripped.split()
             if len(parts) < 2:
-                raise ValueError(f"line {line_number}: expected two vertex ids: {line!r}")
+                message = f"{name}:{line_number}: expected two vertex ids: {stripped!r}"
+                if strict:
+                    raise StreamError(message)
+                if errors is not None:
+                    errors.append(message)
+                continue
             u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
             if u == v:
                 continue
@@ -121,8 +150,21 @@ def write_event_stream(events: Iterable[EdgeEvent], target: PathOrFile) -> int:
             handle.close()
 
 
-def read_event_stream(source: PathOrFile) -> Iterator[EdgeEvent]:
-    """Parse an event-stream file lazily (one event per line)."""
+def read_event_stream(
+    source: PathOrFile,
+    *,
+    strict: bool = True,
+    errors: Optional[List[str]] = None,
+) -> Iterator[EdgeEvent]:
+    """Parse an event-stream file lazily (one event per line).
+
+    A malformed line raises :class:`StreamError` with ``file:line``
+    context when ``strict`` (the default). With ``strict=False`` it is
+    skipped instead; pass a list as ``errors`` to collect one message
+    per skipped line — mirroring the clusterer's own ``strict`` knob, so
+    a long-running ingest can tolerate occasional bad records.
+    """
+    name = _source_name(source)
     handle, owned = _open_for_read(source)
     try:
         for line_number, line in enumerate(handle, start=1):
@@ -143,7 +185,11 @@ def read_event_stream(source: PathOrFile) -> Iterator[EdgeEvent]:
                 else:
                     raise ValueError(f"unrecognized event syntax: {stripped!r}")
             except ValueError as error:
-                raise ValueError(f"line {line_number}: {error}") from None
+                message = f"{name}:{line_number}: {error}"
+                if strict:
+                    raise StreamError(message) from None
+                if errors is not None:
+                    errors.append(message)
     finally:
         if owned:
             handle.close()

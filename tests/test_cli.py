@@ -1,8 +1,23 @@
 """End-to-end tests for the command-line interface."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def run_cli(*argv):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *map(str, argv)],
+        capture_output=True, text=True, env=env,
+    )
 
 
 @pytest.fixture
@@ -120,8 +135,100 @@ class TestScore:
         assert "nmi: 1.0000" in output
         assert "ari: 1.0000" in output
 
-    def test_malformed_labels_rejected(self, tmp_path):
+    def test_malformed_labels_exit_nonzero(self, tmp_path, capsys):
         bad = tmp_path / "bad.labels"
         bad.write_text("1 2 3\n")
-        with pytest.raises(ValueError, match="expected"):
-            main(["score", str(bad)])
+        assert main(["score", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "expected" in err
+        assert "Traceback" not in err
+
+
+class TestErrorHandling:
+    def test_malformed_edge_list_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.edges"
+        bad.write_text("1 2\njunk\n")
+        assert main(["cluster", str(bad), "--capacity", "10"]) == 2
+        err = capsys.readouterr().err
+        assert "bad.edges:2" in err and "Traceback" not in err
+
+    def test_skip_malformed_tolerates_bad_lines(self, tmp_path, capsys):
+        bad = tmp_path / "bad.edges"
+        bad.write_text("1 2\njunk\n2 3\n")
+        labels = tmp_path / "out.labels"
+        code = main([
+            "cluster", str(bad), "--capacity", "10",
+            "--skip-malformed", "--out", str(labels),
+        ])
+        assert code == 0
+        assert "skipped 1 malformed" in capsys.readouterr().err
+        assert len(labels.read_text().splitlines()) == 3
+
+    def test_malformed_event_stream_exit_nonzero(self, tmp_path, capsys):
+        stream = tmp_path / "s.events"
+        stream.write_text("+ 1 2\n* nonsense\n")
+        assert main(["cluster", str(stream), "--events", "--capacity", "10"]) == 2
+        assert "s.events:2" in capsys.readouterr().err
+
+
+class TestCheckpointResume:
+    def test_checkpoint_written_and_resume_is_identical(self, workload, tmp_path,
+                                                        capsys):
+        edges, _ = workload
+        ckpt = tmp_path / "run.ckpt"
+        full = tmp_path / "full.labels"
+        args = ["cluster", str(edges), "--capacity", "500", "--seed", "5"]
+        assert main([*args, "--out", str(full)]) == 0
+        # Same run with checkpointing enabled: same labels, checkpoint on disk.
+        ck_out = tmp_path / "ck.labels"
+        assert main([*args, "--out", str(ck_out), "--checkpoint", str(ckpt),
+                     "--checkpoint-every", "100"]) == 0
+        assert ckpt.exists()
+        assert ck_out.read_text() == full.read_text()
+        # Resuming from the final checkpoint replays an empty tail.
+        resumed = tmp_path / "resumed.labels"
+        assert main([*args, "--out", str(resumed), "--checkpoint", str(ckpt),
+                     "--resume"]) == 0
+        assert "resumed from" in capsys.readouterr().err
+        assert resumed.read_text() == full.read_text()
+
+    def test_corrupted_checkpoint_is_refused(self, workload, tmp_path, capsys):
+        from repro.util.faults import corrupt_checkpoint
+
+        edges, _ = workload
+        ckpt = tmp_path / "run.ckpt"
+        args = ["cluster", str(edges), "--capacity", "200", "--seed", "5"]
+        assert main([*args, "--checkpoint", str(ckpt), "--out",
+                     str(tmp_path / "a")]) == 0
+        capsys.readouterr()
+        corrupt_checkpoint(ckpt)
+        code = main([*args, "--checkpoint", str(ckpt), "--resume",
+                     "--out", str(tmp_path / "b")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "checksum" in err
+
+    def test_kill_and_resume_subprocess(self, workload, tmp_path):
+        """Hard-kill a CLI run mid-stream (os._exit), then resume from the
+        checkpoint: the labels must score identically to an uninterrupted
+        run. This is the crash-recovery path CI smokes as well."""
+        edges, truth = workload
+        ckpt = tmp_path / "run.ckpt"
+        full = tmp_path / "full.labels"
+        args = ["cluster", edges, "--capacity", "500", "--seed", "5"]
+        assert run_cli(*args, "--out", full).returncode == 0
+
+        crashed = run_cli(*args, "--checkpoint", ckpt, "--checkpoint-every", "100",
+                          "--inject-kill-after", "450")
+        assert crashed.returncode == 3  # the injected hard exit
+        assert ckpt.exists()
+
+        resumed = tmp_path / "resumed.labels"
+        done = run_cli(*args, "--checkpoint", ckpt, "--resume", "--out", resumed)
+        assert done.returncode == 0
+        assert "resumed from" in done.stderr and "at event 400" in done.stderr
+
+        score = run_cli("score", resumed, "--truth", full)
+        assert score.returncode == 0
+        assert "nmi: 1.0000" in score.stdout
+        assert "ari: 1.0000" in score.stdout

@@ -4,6 +4,7 @@ import io
 
 import pytest
 
+from repro.errors import StreamError
 from repro.streams import (
     add_edge,
     add_vertex,
@@ -41,8 +42,30 @@ class TestEdgeList:
         assert read_edge_list(io.StringIO("1 2 1234567\n")) == [(1, 2)]
 
     def test_malformed_line_raises_with_line_number(self):
-        with pytest.raises(ValueError, match="line 2"):
+        with pytest.raises(StreamError, match=":2:"):
             read_edge_list(io.StringIO("1 2\njunk\n"))
+
+    def test_malformed_line_is_still_a_value_error(self):
+        # Back-compat: StreamError subclasses ValueError.
+        with pytest.raises(ValueError):
+            read_edge_list(io.StringIO("junk\n"))
+
+    def test_path_context_in_error(self, tmp_path):
+        bad = tmp_path / "bad.edges"
+        bad.write_text("1 2\njunk\n")
+        with pytest.raises(StreamError, match="bad.edges:2"):
+            read_edge_list(bad)
+
+    def test_non_strict_skips_and_counts(self):
+        errors = []
+        edges = read_edge_list(
+            io.StringIO("1 2\njunk\n3 4\nalso-junk\n"),
+            strict=False,
+            errors=errors,
+        )
+        assert edges == [(1, 2), (3, 4)]
+        assert len(errors) == 2
+        assert ":2:" in errors[0] and ":4:" in errors[1]
 
 
 class TestEventStream:
@@ -69,12 +92,22 @@ class TestEventStream:
         assert next(iterator) == add_edge(1, 2)
 
     def test_unknown_op_raises(self):
-        with pytest.raises(ValueError, match="line 1"):
+        with pytest.raises(StreamError, match=":1:"):
             list(read_event_stream(io.StringIO("* 1 2\n")))
 
     def test_wrong_arity_raises(self):
         with pytest.raises(ValueError):
             list(read_event_stream(io.StringIO("+ 1\n")))
+
+    def test_non_strict_skips_and_counts(self):
+        errors = []
+        events = list(read_event_stream(
+            io.StringIO("+ 1 2\n* what\n- 1 2\n+ 3 3\n"),
+            strict=False,
+            errors=errors,
+        ))
+        assert events == [add_edge(1, 2), delete_edge(1, 2)]
+        assert len(errors) == 2  # unknown op + self-loop
 
     def test_comments_skipped(self):
         buffer = io.StringIO("# stream\n+ 1 2\n")

@@ -1,0 +1,253 @@
+"""Unit tests for the checkpoint container format and save/load API."""
+
+import os
+
+import pytest
+
+from repro.core import ClustererConfig, ShardedClusterer, StreamingGraphClusterer
+from repro.errors import CheckpointError
+from repro.persist import (
+    PeriodicCheckpointer,
+    load_checkpoint,
+    save_checkpoint,
+    read_container,
+    write_container,
+)
+from repro.persist.format import HEADER_SIZE, MAGIC, decode_container, encode_container
+from repro.streams import add_edge, delete_edge, insert_delete_stream, planted_partition
+from repro.util.faults import (
+    FlakyOpen,
+    SimulatedCrash,
+    corrupt_checkpoint,
+    kill_at_event,
+    truncate_file,
+)
+
+
+@pytest.fixture
+def churn_events():
+    graph = planted_partition(80, 4, p_in=0.3, p_out=0.02, seed=13)
+    return insert_delete_stream(graph.edges, churn=0.4, seed=13)
+
+
+def make_clusterer(**kwargs) -> StreamingGraphClusterer:
+    defaults = dict(reservoir_capacity=100, seed=7, strict=False)
+    defaults.update(kwargs)
+    return StreamingGraphClusterer(ClustererConfig(**defaults))
+
+
+class TestContainerFormat:
+    def test_bytes_roundtrip(self):
+        payload = {"hello": [1, 2, ("a", "b")], "n": 42}
+        assert decode_container(encode_container(payload)) == payload
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "ck"
+        payload = {"x": 1}
+        size = write_container(path, payload)
+        assert os.path.getsize(path) == size
+        assert read_container(path) == payload
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_container(tmp_path / "absent")
+
+    def test_alien_file_rejected(self, tmp_path):
+        path = tmp_path / "alien"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(CheckpointError, match="bad magic"):
+            read_container(path)
+
+    def test_short_file_rejected(self, tmp_path):
+        path = tmp_path / "short"
+        path.write_bytes(MAGIC[:4])
+        with pytest.raises(CheckpointError, match="too short"):
+            read_container(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future"
+        data = bytearray(encode_container({"x": 1}))
+        data[8:10] = (99).to_bytes(2, "big")
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="version 99"):
+            read_container(path)
+
+    def test_truncation_rejected(self, tmp_path):
+        path = tmp_path / "ck"
+        write_container(path, {"data": list(range(1000))})
+        truncate_file(path, os.path.getsize(path) - 7)
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_container(path)
+
+    def test_truncated_to_header_rejected(self, tmp_path):
+        path = tmp_path / "ck"
+        write_container(path, {"data": "abc"})
+        truncate_file(path, HEADER_SIZE)
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_container(path)
+
+    def test_flipped_payload_byte_rejected(self, tmp_path):
+        path = tmp_path / "ck"
+        write_container(path, {"data": list(range(1000))})
+        corrupt_checkpoint(path)
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            read_container(path)
+
+    def test_every_flipped_byte_is_detected(self, tmp_path):
+        """No single-byte corruption anywhere in the file loads silently."""
+        path = tmp_path / "ck"
+        write_container(path, {"data": list(range(50))})
+        size = os.path.getsize(path)
+        for offset in range(0, size, 7):
+            write_container(path, {"data": list(range(50))})
+            corrupt_checkpoint(path, offset=offset)
+            with pytest.raises(CheckpointError):
+                read_container(path)
+
+    def test_non_dict_payload_rejected(self, tmp_path):
+        import pickle
+        import struct
+        import zlib
+
+        body = pickle.dumps([1, 2, 3])
+        header = struct.pack(">8sHQI", MAGIC, 1, len(body), zlib.crc32(body))
+        path = tmp_path / "ck"
+        path.write_bytes(header + body)
+        with pytest.raises(CheckpointError, match="unexpected payload type"):
+            read_container(path)
+
+    def test_atomic_write_keeps_previous_on_failure(self, tmp_path, monkeypatch):
+        import repro.persist.format as fmt
+
+        path = tmp_path / "ck"
+        write_container(path, {"generation": 1})
+        monkeypatch.setattr(fmt, "open", FlakyOpen(failures=1), raising=False)
+        with pytest.raises(OSError, match="injected IO fault"):
+            write_container(path, {"generation": 2})
+        # The old checkpoint survives and no temp litter remains.
+        assert read_container(path) == {"generation": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["ck"]
+
+
+class TestSaveLoad:
+    def test_single_roundtrip(self, tmp_path, churn_events):
+        clusterer = make_clusterer().process(churn_events)
+        path = tmp_path / "ck"
+        save_checkpoint(clusterer, path, position=len(churn_events))
+        restored = load_checkpoint(path)
+        assert restored.kind == "clusterer.single"
+        assert restored.position == len(churn_events)
+        assert restored.clusterer.snapshot() == clusterer.snapshot()
+        assert restored.clusterer.stats.as_dict() == clusterer.stats.as_dict()
+        assert restored.clusterer.reservoir_edges() == clusterer.reservoir_edges()
+        assert restored.clusterer.graph.num_edges == clusterer.graph.num_edges
+
+    def test_sharded_roundtrip(self, tmp_path, churn_events):
+        sharded = ShardedClusterer(
+            ClustererConfig(reservoir_capacity=200, seed=3, strict=False), 4
+        ).process(churn_events)
+        path = tmp_path / "ck"
+        save_checkpoint(sharded, path, position=len(churn_events))
+        restored = load_checkpoint(path)
+        assert restored.kind == "clusterer.sharded"
+        assert restored.clusterer.snapshot() == sharded.snapshot()
+        assert restored.clusterer.shard_events == sharded.shard_events
+        assert restored.clusterer.total_reservoir_size == sharded.total_reservoir_size
+
+    def test_lean_mode_roundtrip(self, tmp_path):
+        clusterer = make_clusterer(track_graph=False)
+        clusterer.process([add_edge(i, i + 1) for i in range(50)])
+        path = tmp_path / "ck"
+        save_checkpoint(clusterer, path)
+        restored = load_checkpoint(path).clusterer
+        assert restored.graph is None
+        assert restored.snapshot() == clusterer.snapshot()
+
+    def test_string_vertices_roundtrip(self, tmp_path):
+        clusterer = make_clusterer()
+        clusterer.process([add_edge(f"u{i}", f"u{i+1}") for i in range(30)])
+        clusterer.apply(delete_edge("u3", "u4"))
+        path = tmp_path / "ck"
+        save_checkpoint(clusterer, path)
+        assert load_checkpoint(path).clusterer.snapshot() == clusterer.snapshot()
+
+    def test_wrong_object_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="cannot checkpoint"):
+            save_checkpoint(object(), tmp_path / "ck")
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "ck"
+        write_container(
+            path, {"state_version": 1, "kind": "clusterer.quantum", "position": 0,
+                   "state": {}}
+        )
+        with pytest.raises(CheckpointError, match="unknown checkpoint kind"):
+            load_checkpoint(path)
+
+    def test_unknown_state_version_rejected(self, tmp_path):
+        path = tmp_path / "ck"
+        write_container(
+            path, {"state_version": 999, "kind": "clusterer.single", "position": 0,
+                   "state": {}}
+        )
+        with pytest.raises(CheckpointError, match="state version 999"):
+            load_checkpoint(path)
+
+    def test_structurally_invalid_state_rejected(self, tmp_path):
+        path = tmp_path / "ck"
+        write_container(
+            path, {"state_version": 1, "kind": "clusterer.single", "position": 0,
+                   "state": {"config": None}}
+        )
+        with pytest.raises(CheckpointError, match="invalid checkpoint state"):
+            load_checkpoint(path)
+
+    def test_corrupted_clusterer_checkpoint_never_loads(self, tmp_path, churn_events):
+        path = tmp_path / "ck"
+        save_checkpoint(make_clusterer().process(churn_events), path)
+        corrupt_checkpoint(path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+
+class TestPeriodicCheckpointer:
+    def test_initial_save_makes_early_crash_recoverable(self, tmp_path):
+        path = tmp_path / "ck"
+        PeriodicCheckpointer(make_clusterer(), path, every=100)
+        restored = PeriodicCheckpointer.resume(path)
+        assert restored.position == 0
+
+    def test_saves_at_interval(self, tmp_path):
+        path = tmp_path / "ck"
+        pc = PeriodicCheckpointer(make_clusterer(), path, every=10)
+        pc.process([add_edge(i, i + 1) for i in range(35)])
+        assert pc.saves == 1 + 3  # initial + events 10, 20, 30
+        assert load_checkpoint(path).position == 30
+
+    def test_every_zero_only_saves_explicitly(self, tmp_path):
+        path = tmp_path / "ck"
+        pc = PeriodicCheckpointer(make_clusterer(), path, every=0)
+        pc.process([add_edge(i, i + 1) for i in range(25)])
+        assert pc.saves == 1  # just the initial one
+        pc.save()
+        assert load_checkpoint(path).position == 25
+
+    def test_crash_restore_replay_identical(self, tmp_path, churn_events):
+        full = make_clusterer().process(churn_events)
+
+        path = tmp_path / "ck"
+        pc = PeriodicCheckpointer(make_clusterer(), path, every=50)
+        with pytest.raises(SimulatedCrash):
+            pc.process(kill_at_event(churn_events, 333))
+        # The in-memory clusterer is gone with the crash; recover from disk.
+        resumed = PeriodicCheckpointer.resume(path, every=50)
+        assert resumed.position == 300  # latest multiple of 50 before the kill
+        resumed.process(resumed.remaining(churn_events))
+        assert resumed.position == len(churn_events)
+        assert resumed.clusterer.snapshot() == full.snapshot()
+        assert resumed.clusterer.stats.as_dict() == full.stats.as_dict()
+        assert resumed.clusterer.reservoir_edges() == full.reservoir_edges()
+
+    def test_negative_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="every"):
+            PeriodicCheckpointer(make_clusterer(), tmp_path / "ck", every=-1)
