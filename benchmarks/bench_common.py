@@ -9,6 +9,9 @@ with ``-s`` to see it inline; the JSON is always written).
 
 from __future__ import annotations
 
+import platform
+import random
+import sys
 import time
 from typing import Dict, Optional
 
@@ -26,6 +29,26 @@ from repro.quality import (
 from repro.streams import insert_only_stream
 
 RESULTS_DIR = "bench_results"
+
+#: Every benchmark's randomness is either seeded explicitly (dataset and
+#: clusterer seeds) or drawn from the global RNG, which is pinned here
+#: at import so two runs of the same benchmark see the same stream.
+GLOBAL_RNG_SEED = 0
+random.seed(GLOBAL_RNG_SEED)
+
+
+def environment_record() -> Dict[str, object]:
+    """The reproducibility stamp attached to every saved result record:
+    the pinned global RNG seed plus the interpreter and platform that
+    produced the numbers (throughput rows are meaningless without
+    knowing what ran them)."""
+    return {
+        "global_rng_seed": GLOBAL_RNG_SEED,
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
 
 
 def dataset_events(name: str, seed: int = 0):
@@ -79,7 +102,8 @@ def timed(fn):
 
 
 def finish(result: ExperimentResult) -> None:
-    """Persist and print an experiment record."""
+    """Persist and print an experiment record (environment-stamped)."""
+    result.metadata.setdefault("environment", environment_record())
     save_results(result, RESULTS_DIR)
     print()
     print(render_table(result.rows, title=f"{result.experiment}: {result.description}"))

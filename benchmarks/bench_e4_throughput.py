@@ -17,17 +17,29 @@ Reported on the dblp_like stand-in (20k vertices / 84k edges):
 
 Expected shape: streaming sits 3–5 orders of magnitude above the K=1
 baselines and 1–2 above practical K; this is the paper's headline gap.
+
+On top of the per-event headline row, the batch-size sweep measures the
+batched ingestion fast path (``apply_many`` over raw event tuples) at
+batch sizes 1, 64, 1024, and 8192 and asserts it delivers at least 3×
+the per-event throughput at batch >= 1024. Run with ``--profile -s`` to
+cProfile the batched hot loop (top-20 by cumulative time).
 """
+
+import cProfile
+import pstats
 
 from bench_common import dataset_events, finish, run_streaming, timed
 from repro.baselines import PeriodicRecomputeClusterer, label_propagation, louvain
 from repro.bench import ExperimentResult, measure_throughput
+from repro.core import ClustererConfig, StreamingGraphClusterer
 from repro.graph import AdjacencyGraph
 
 PREFIX = 20000  # events given to the periodic baselines
+BATCH_SIZES = (1, 64, 1024, 8192)
+BATCH_SPEEDUP_FLOOR = 3.0  # required at batch >= 1024
 
 
-def test_e4_throughput(benchmark):
+def test_e4_throughput(benchmark, profile_requested):
     dataset, events = dataset_events("dblp_like")
     capacity = len(events) // 10
 
@@ -43,13 +55,54 @@ def test_e4_throughput(benchmark):
     )
 
     clusterer, seconds = timed(ingest)
+    per_event_tp = len(events) / seconds
     result.add_row(
         algorithm="streaming (reservoir)",
         freshness_events=1,
-        events_per_sec=round(len(events) / seconds),
+        events_per_sec=round(per_event_tp),
         us_per_event=round(1e6 * seconds / len(events), 1),
         speedup_vs_fresh_louvain="(baseline below)",
     )
+
+    # -- Batched ingestion sweep ---------------------------------------
+    # Same stream as raw (kind, u, v) tuples through apply_many; the
+    # final reservoir must be identical to the per-event run (the
+    # equivalence contract), so this measures pure overhead removal.
+    raw_events = [(event.kind, event.u, event.v) for event in events]
+    batched_tp = {}
+    for batch_size in BATCH_SIZES:
+        def ingest_batched(batch_size=batch_size):
+            batched = StreamingGraphClusterer(
+                ClustererConfig(
+                    reservoir_capacity=max(1, capacity), strict=False, seed=2
+                )
+            )
+            batched.process(raw_events, batch_size=batch_size)
+            return batched
+
+        best = min(timed(ingest_batched)[1] for _ in range(3))
+        batched_tp[batch_size] = len(events) / best
+        result.add_row(
+            algorithm=f"streaming (batched, batch={batch_size})",
+            freshness_events=batch_size,
+            events_per_sec=round(batched_tp[batch_size]),
+            us_per_event=round(1e6 * best / len(events), 1),
+            speedup_vs_fresh_louvain="",
+        )
+    assert sorted(ingest_batched().reservoir_edges()) == sorted(
+        clusterer.reservoir_edges()
+    )
+    result.metadata["batched_speedup_at_1024"] = round(
+        batched_tp[1024] / per_event_tp, 2
+    )
+
+    if profile_requested:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        ingest_batched(1024)
+        profiler.disable()
+        print()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
 
     prefix = events[:PREFIX]
     for name, algorithm, interval in [
@@ -102,3 +155,10 @@ def test_e4_throughput(benchmark):
         if row["algorithm"] == "periodic louvain" and row["freshness_events"] == 200
     )
     assert streaming_tp > 10 * practical["events_per_sec"]
+    # The batched fast path must pay for itself: >= 3x per-event
+    # throughput at batch >= 1024 on this add-only workload.
+    for batch_size in (1024, 8192):
+        assert batched_tp[batch_size] >= BATCH_SPEEDUP_FLOOR * per_event_tp, (
+            f"batch={batch_size}: {batched_tp[batch_size]:.0f} ev/s < "
+            f"{BATCH_SPEEDUP_FLOOR}x per-event {per_event_tp:.0f} ev/s"
+        )

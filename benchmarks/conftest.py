@@ -1,0 +1,22 @@
+"""Shared pytest plumbing for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="cProfile the hot ingestion loop of benchmarks that support "
+        "it (currently E4) and print the top-20 functions by cumulative "
+        "time; run with -s to see the report",
+    )
+
+
+@pytest.fixture
+def profile_requested(request: pytest.FixtureRequest) -> bool:
+    """True when the run was started with ``--profile``."""
+    return bool(request.config.getoption("--profile"))

@@ -1,0 +1,119 @@
+"""CI throughput smoke: fail on large ingestion-speed regressions.
+
+Runs a pinned-seed mini version of experiment E4 (a prefix of the
+dblp_like insert-only stream) through both ingestion paths and compares
+events/sec against the committed baseline in
+``bench_results/perf_smoke_baseline.json``:
+
+* a drop of more than ``TOLERANCE`` (30%) on either path fails the job;
+* the batched path must also keep a healthy machine-independent margin
+  over the per-event path (ratio check, immune to runner speed).
+
+CI runners are slower and noisier than dev machines, so the baseline
+stores *this repo's* committed reference numbers and the tolerance is
+deliberately loose — the gate catches algorithmic regressions (an
+accidentally quadratic loop, a disabled fast path), not 5% jitter.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py             # check
+    PYTHONPATH=src python benchmarks/perf_smoke.py --update    # rebaseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_common import dataset_events, environment_record  # noqa: E402
+
+from repro.core import ClustererConfig, StreamingGraphClusterer  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / (
+    "bench_results/perf_smoke_baseline.json"
+)
+SEED = 2
+PREFIX_EVENTS = 40000
+BATCH_SIZE = 1024
+ROUNDS = 3  # best-of, to shed warmup and scheduler noise
+TOLERANCE = 0.30  # maximum allowed events/sec regression
+MIN_BATCH_RATIO = 2.0  # batched must stay >= 2x per-event on any machine
+
+
+def _ingest(events, capacity: int, batch_size: int | None) -> float:
+    clusterer = StreamingGraphClusterer(
+        ClustererConfig(reservoir_capacity=capacity, strict=False, seed=SEED)
+    )
+    start = time.perf_counter()
+    clusterer.process(events, batch_size=batch_size)
+    return time.perf_counter() - start
+
+
+def measure() -> dict:
+    """Best-of-``ROUNDS`` events/sec for both ingestion paths."""
+    _, events = dataset_events("dblp_like", seed=SEED)
+    events = events[:PREFIX_EVENTS]
+    raw = [(event.kind, event.u, event.v) for event in events]
+    capacity = max(1, len(events) // 10)
+    per_event = min(_ingest(events, capacity, None) for _ in range(ROUNDS))
+    batched = min(_ingest(raw, capacity, BATCH_SIZE) for _ in range(ROUNDS))
+    return {
+        "events": len(events),
+        "capacity": capacity,
+        "seed": SEED,
+        "batch_size": BATCH_SIZE,
+        "per_event_events_per_sec": round(len(events) / per_event),
+        "batched_events_per_sec": round(len(events) / batched),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline JSON"
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+    print(f"per-event: {current['per_event_events_per_sec']:,} ev/s")
+    print(f"batched (batch={BATCH_SIZE}): {current['batched_events_per_sec']:,} ev/s")
+
+    if args.update:
+        payload = dict(current)
+        payload["environment"] = environment_record()
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = []
+    for key in ("per_event_events_per_sec", "batched_events_per_sec"):
+        floor = baseline[key] * (1.0 - TOLERANCE)
+        status = "ok" if current[key] >= floor else "REGRESSION"
+        print(
+            f"{key}: {current[key]:,} vs baseline {baseline[key]:,} "
+            f"(floor {floor:,.0f}) {status}"
+        )
+        if current[key] < floor:
+            failures.append(key)
+
+    ratio = current["batched_events_per_sec"] / current["per_event_events_per_sec"]
+    print(f"batched/per-event ratio: {ratio:.2f}x (floor {MIN_BATCH_RATIO}x)")
+    if ratio < MIN_BATCH_RATIO:
+        failures.append("batched/per-event ratio")
+
+    if failures:
+        print(f"perf smoke FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("perf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -102,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--lean", action="store_true",
                          help="do not track the full graph (reservoir-only memory)")
     cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--batch-size", type=_nonnegative_int, default=1024,
+                         metavar="N",
+                         help="ingest events in batches of N through the fast "
+                              "path (0: per-event; default: 1024)")
     cluster.add_argument("--out", help="labels output path (default: stdout)")
     cluster.add_argument("--min-size", type=int, default=1,
                          help="fold clusters smaller than this into one bucket")
@@ -205,7 +209,13 @@ def _build_constraint(args: argparse.Namespace) -> ConstraintPolicy:
 
 def _run_cluster(args: argparse.Namespace) -> int:
     from repro.persist import PeriodicCheckpointer
-    from repro.streams import insert_only_stream, read_edge_list, read_event_stream
+    from repro.streams import (
+        insert_only_stream,
+        insert_only_stream_raw,
+        read_edge_list,
+        read_event_stream,
+        read_event_stream_raw,
+    )
 
     config = ClustererConfig(
         reservoir_capacity=args.capacity,
@@ -216,12 +226,24 @@ def _run_cluster(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     strict_io = not args.skip_malformed
+    batch_size = args.batch_size or None
     io_errors: List[str] = []
+    # With batching, events stay raw (kind, u, v) tuples end to end;
+    # apply_many canonicalizes in bulk. Either way the stream describes
+    # the same updates and yields the same clustering.
     if args.events:
-        stream = read_event_stream(args.input, strict=strict_io, errors=io_errors)
+        if batch_size:
+            stream = read_event_stream_raw(
+                args.input, strict=strict_io, errors=io_errors
+            )
+        else:
+            stream = read_event_stream(args.input, strict=strict_io, errors=io_errors)
     else:
         edges = read_edge_list(args.input, strict=strict_io, errors=io_errors)
-        stream = insert_only_stream(edges, seed=args.seed)
+        if batch_size:
+            stream = insert_only_stream_raw(edges, seed=args.seed)
+        else:
+            stream = insert_only_stream(edges, seed=args.seed)
 
     checkpointer: Optional[PeriodicCheckpointer] = None
     if args.checkpoint and args.resume and os.path.exists(args.checkpoint):
@@ -256,10 +278,10 @@ def _run_cluster(args: argparse.Namespace) -> int:
         )
 
     if checkpointer is not None:
-        checkpointer.process(stream)
+        checkpointer.process(stream, batch_size=batch_size)
         checkpointer.save()
     else:
-        clusterer.process(stream)
+        clusterer.process(stream, batch_size=batch_size)
     if io_errors:
         print(f"skipped {len(io_errors)} malformed input lines", file=sys.stderr)
     snapshot = clusterer.snapshot()

@@ -19,6 +19,7 @@ from repro.connectivity.ett import EulerTourForest
 from repro.connectivity.hdt import HDTConnectivity
 from repro.connectivity.lazy import LazyRebuildConnectivity
 from repro.connectivity.naive import NaiveDynamicConnectivity
+from repro.connectivity.offline import resolve_sample_timeline
 from repro.connectivity.union_find import RollbackUnionFind, UnionFind
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "NaiveDynamicConnectivity",
     "RollbackUnionFind",
     "UnionFind",
+    "resolve_sample_timeline",
 ]
 
 _BACKENDS = {

@@ -23,7 +23,7 @@ answers are exactly equal to the other backends' at every query point
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.connectivity.base import DynamicConnectivity
 from repro.connectivity.union_find import UnionFind
@@ -37,7 +37,10 @@ class LazyRebuildConnectivity(DynamicConnectivity):
 
     def __init__(self) -> None:
         self._edges: Set[Edge] = set()
-        self._vertices: Set[Vertex] = set()
+        # Insertion-ordered (dict keys): vertices() order must be a pure
+        # function of the add_vertex call sequence so that checkpoints
+        # restore an identical vertex list.
+        self._vertices: Dict[Vertex, None] = {}
         self._union: Optional[UnionFind] = None  # None = dirty
         self.rebuilds = 0  # exposed for the cost-model benchmarks
 
@@ -71,7 +74,7 @@ class LazyRebuildConnectivity(DynamicConnectivity):
     def add_vertex(self, v: Vertex) -> bool:
         if v in self._vertices:
             return False
-        self._vertices.add(v)
+        self._vertices[v] = None
         if self._union is not None:
             self._union.add(v)
         return True
@@ -101,7 +104,7 @@ class LazyRebuildConnectivity(DynamicConnectivity):
         for a, b in self._edges:
             if a == v or b == v:
                 return False
-        self._vertices.discard(v)
+        del self._vertices[v]
         self._union = None
         return True
 

@@ -19,29 +19,55 @@ sample of the edges**:
 Every update is processed online and incrementally in amortized
 poly-logarithmic time; no pass over the full graph is ever required
 (unless the optional RESAMPLE deletion policy is selected).
+
+Batched ingestion
+-----------------
+:meth:`StreamingGraphClusterer.apply_many` is the high-throughput entry
+point. For the unconstrained random-pairing configuration it amortizes
+the per-event Python overhead across a whole batch: events are consumed
+as plain ``(kind, u, v)`` tuples or :class:`EdgeEvent` objects, stats
+are accumulated in local counters, and — crucially — the fully-dynamic
+connectivity structure is **deferred**: the batch records the sample
+mutations it performs and resolves their exact merge/split outcomes
+afterwards with offline divide-and-conquer connectivity
+(:func:`~repro.connectivity.offline.resolve_sample_timeline`); the live
+structure receives only the *net* edge diff, and only when something
+actually needs it (a per-event :meth:`apply`, a vertex deletion, or
+:meth:`get_state`). Clustering queries between batches are answered from
+the reservoir directly via a cached vertex → component labelling, so
+the end-to-end result — partition, statistics, reservoir content, and
+RNG state — is identical to the per-event path (property-tested in
+``tests/test_apply_many_property.py``). See ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional
+from itertools import islice
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.connectivity import make_connectivity
+from repro.connectivity.offline import resolve_sample_timeline
+from repro.connectivity.union_find import UnionFind
 from repro.core.config import ClustererConfig, DeletionPolicy
+from repro.core.constraints import Unconstrained
 from repro.errors import StreamError, UnsupportedOperationError
 from repro.graph.adjacency import AdjacencyGraph
 from repro.quality.partition import Partition
-from repro.sampling.random_pairing import RandomPairingReservoir
+from repro.sampling.random_pairing import NOT_ADMITTED, RandomPairingReservoir
 from repro.streams.events import (
     Edge,
     EdgeEvent,
     EventKind,
+    RawEvent,
     Vertex,
     canonical_edge,
 )
 from repro.util.rng import child_seed, make_rng
 
 __all__ = ["ClustererStats", "StreamingGraphClusterer"]
+
+AnyEvent = Union[EdgeEvent, RawEvent]
 
 
 @dataclass
@@ -94,12 +120,34 @@ class StreamingGraphClusterer:
             AdjacencyGraph() if config.track_graph else None
         )
         self._rebuild_rng = make_rng(child_seed(config.seed, "rebuild"))
+        # Batched-ingestion state: while `_conn_stale` the connectivity
+        # structure lags the reservoir by the net edge diff in
+        # `_conn_diff` (edge -> +1 pending insert / -1 pending delete).
+        self._conn_stale = False
+        self._conn_diff: Dict[Edge, int] = {}
+        # Simulates the lazy backend's dirty flag while deferred (other
+        # backends ignore it).
+        self._lazy_dirty = bool(getattr(self._conn, "dirty", False))
+        # Adjacency view of the *sampled* sub-graph, kept in lockstep
+        # with the reservoir. The batch loop resolves most merge/split
+        # booleans with a budgeted BFS over it, skipping both the live
+        # connectivity structure and the offline resolver.
+        self._sample_adj: Dict[Vertex, Set[Vertex]] = {}
+        # Cached cluster extraction, invalidated by structural changes.
+        self._labels_cache: Optional[Dict[Vertex, Vertex]] = None
+        self._partition_cache: Optional[Partition] = None
+        #: Number of times a partition was actually (re)built by
+        #: :meth:`snapshot` — a probe counter for cache-effectiveness
+        #: tests and benchmarks; not part of the persisted state.
+        self.partition_builds = 0
 
     # ------------------------------------------------------------------
     # Stream consumption
     # ------------------------------------------------------------------
     def apply(self, event: EdgeEvent) -> None:
         """Process one stream event."""
+        if self._conn_stale:
+            self._flush_conn()
         self.stats.events += 1
         kind = event.kind
         if kind is EventKind.ADD_EDGE:
@@ -113,11 +161,411 @@ class StreamingGraphClusterer:
         else:  # pragma: no cover - enum is closed
             raise AssertionError(f"unknown event kind {kind!r}")
 
-    def process(self, events: Iterable[EdgeEvent]) -> "StreamingGraphClusterer":
-        """Process a whole stream; returns self for chaining."""
-        for event in events:
-            self.apply(event)
-        return self
+    def apply_many(self, events: Iterable[AnyEvent]) -> "StreamingGraphClusterer":
+        """Process a stream of events through the batched fast path.
+
+        Accepts :class:`EdgeEvent` objects and plain ``(kind, u, v)``
+        tuples (``v=None`` for vertex events) interchangeably; the tuple
+        form skips per-event object construction entirely. The final
+        state — reservoir content and RNG state, statistics, tracked
+        graph, and clustering — is identical to calling :meth:`apply`
+        per event, for any split of the stream into batches.
+
+        The fast path engages for the unconstrained random-pairing
+        configuration; constrained or RESAMPLE configurations fall back
+        to per-event processing transparently. Vertex deletions act as
+        batch barriers (they need live connectivity), so streams where
+        they are rare still batch well. Returns self for chaining.
+        """
+        config = self.config
+        if (
+            config.deletion_policy is not DeletionPolicy.RANDOM_PAIRING
+            or type(config.constraint) is not Unconstrained
+            or not getattr(config, "batch_fast_path", True)
+        ):
+            for event in events:
+                if type(event) is tuple:
+                    event = EdgeEvent(event[0], event[1], event[2])
+                self.apply(event)
+            return self
+        iterator = iter(events)
+        while True:
+            barrier = self._apply_edge_batch(iterator)
+            if barrier is None:
+                return self
+            self.apply(barrier)
+
+    def process(
+        self, events: Iterable[AnyEvent], batch_size: Optional[int] = None
+    ) -> "StreamingGraphClusterer":
+        """Process a whole stream; returns self for chaining.
+
+        With ``batch_size`` (``None``/``0`` disables batching) the
+        stream is consumed in chunks through :meth:`apply_many`; larger
+        chunks amortize more per-event overhead at the cost of a longer
+        deferred-resolution horizon per chunk.
+        """
+        if not batch_size:
+            for event in events:
+                if type(event) is tuple:
+                    event = EdgeEvent(event[0], event[1], event[2])
+                self.apply(event)
+            return self
+        iterator = iter(events)
+        while True:
+            chunk = list(islice(iterator, batch_size))
+            if not chunk:
+                return self
+            self.apply_many(chunk)
+
+    # ------------------------------------------------------------------
+    # Batched fast path
+    # ------------------------------------------------------------------
+    def _apply_edge_batch(self, iterator: Iterator[AnyEvent]) -> Optional[EdgeEvent]:
+        """Consume edge/vertex-add events until exhaustion or a barrier.
+
+        Returns the barrier event (vertex deletion) still to be applied,
+        or None when the iterator ran dry. All state the loop defers —
+        stat counters, the sample-mutation timeline, cache invalidation —
+        is settled in the ``finally`` block, so an exception (strict-mode
+        stream error, malformed input) leaves the clusterer exactly as
+        the per-event path would.
+        """
+        if not self._conn_stale:
+            # Entering deferred mode: snapshot what the per-event path
+            # would currently report for the lazy backend's dirty flag.
+            self._lazy_dirty = bool(getattr(self._conn, "dirty", False))
+        reservoir = self._reservoir
+        insert_fast = reservoir.insert_fast
+        reservoir_delete = reservoir.delete
+        graph = self._graph
+        add_vertex = self._conn.add_vertex
+        strict = self.config.strict
+        kind_add = EventKind.ADD_EDGE
+        kind_del = EventKind.DELETE_EDGE
+        kind_addv = EventKind.ADD_VERTEX
+        not_admitted = NOT_ADMITTED
+        diff = self._conn_diff
+        adj = self._sample_adj
+        probe = self._sample_connected
+        # Merge/split booleans are probed online with a budgeted
+        # bidirectional BFS over the sample adjacency — O(component),
+        # and components of a reservoir-sampled sub-graph are typically
+        # tiny. The first probe to exceed its budget turns probing off
+        # for the rest of the batch; the recorded timeline is then
+        # resolved offline in the finally block instead. The lazy
+        # backend never probes (its counters are simulated exactly in
+        # _resolve_ops).
+        probing = self.config.connectivity_backend != "lazy"
+        n_merges = n_splits = 0
+        base: Optional[List[Edge]] = None  # pre-batch sample, captured lazily
+        base_labels = self._labels_cache  # pre-batch components, if current
+        ops: List[Tuple[bool, Vertex, Vertex]] = []
+        n_events = n_adds = n_deletes = n_vadds = 0
+        n_admitted = n_evicted = n_sample_del = n_malformed = 0
+        structural = False
+        barrier: Optional[EdgeEvent] = None
+        try:
+            for event in iterator:
+                if type(event) is tuple:
+                    kind, u, v = event
+                else:
+                    kind, u, v = event.kind, event.u, event.v
+                if kind is kind_add:
+                    if u == v:
+                        raise ValueError(
+                            f"self-loop edges are not allowed: ({u!r}, {v!r})"
+                        )
+                    try:
+                        if v < u:
+                            u, v = v, u
+                    except TypeError:
+                        if repr(v) < repr(u):
+                            u, v = v, u
+                    n_events += 1
+                    n_adds += 1
+                    if graph is not None and not graph.add_canonical_edge(u, v):
+                        if strict:
+                            raise StreamError(f"duplicate ADD_EDGE ({u!r}, {v!r})")
+                        n_malformed += 1
+                        continue
+                    if add_vertex(u):
+                        structural = True
+                    if add_vertex(v):
+                        structural = True
+                    edge = (u, v)
+                    if base is None:
+                        base = reservoir.items()
+                    evicted = insert_fast(edge)
+                    if evicted is not_admitted:
+                        continue
+                    n_admitted += 1
+                    structural = True
+                    if evicted is not None:
+                        n_evicted += 1
+                        ev_u, ev_v = evicted
+                        adj[ev_u].discard(ev_v)
+                        adj[ev_v].discard(ev_u)
+                        if probing:
+                            alive = probe(ev_u, ev_v)
+                            if alive is None:
+                                probing = False
+                            elif not alive:
+                                n_splits += 1
+                        ops.append((False, ev_u, ev_v))
+                        delta = diff.get(evicted, 0) - 1
+                        if delta:
+                            diff[evicted] = delta
+                        else:
+                            del diff[evicted]
+                    if probing:
+                        alive = probe(u, v)
+                        if alive is None:
+                            probing = False
+                        elif not alive:
+                            n_merges += 1
+                    neighbours = adj.get(u)
+                    if neighbours is None:
+                        adj[u] = {v}
+                    else:
+                        neighbours.add(v)
+                    neighbours = adj.get(v)
+                    if neighbours is None:
+                        adj[v] = {u}
+                    else:
+                        neighbours.add(u)
+                    ops.append((True, u, v))
+                    delta = diff.get(edge, 0) + 1
+                    if delta:
+                        diff[edge] = delta
+                    else:
+                        del diff[edge]
+                elif kind is kind_del:
+                    if u == v:
+                        raise ValueError(
+                            f"self-loop edges are not allowed: ({u!r}, {v!r})"
+                        )
+                    try:
+                        if v < u:
+                            u, v = v, u
+                    except TypeError:
+                        if repr(v) < repr(u):
+                            u, v = v, u
+                    n_events += 1
+                    n_deletes += 1
+                    if graph is not None and not graph.remove_canonical_edge(u, v):
+                        if strict:
+                            raise StreamError(
+                                f"DELETE_EDGE of absent edge ({u!r}, {v!r})"
+                            )
+                        n_malformed += 1
+                        continue
+                    edge = (u, v)
+                    if base is None:
+                        base = reservoir.items()
+                    if reservoir_delete(edge):
+                        n_sample_del += 1
+                        structural = True
+                        adj[u].discard(v)
+                        adj[v].discard(u)
+                        if probing:
+                            alive = probe(u, v)
+                            if alive is None:
+                                probing = False
+                            elif not alive:
+                                n_splits += 1
+                        ops.append((False, u, v))
+                        delta = diff.get(edge, 0) - 1
+                        if delta:
+                            diff[edge] = delta
+                        else:
+                            del diff[edge]
+                elif kind is kind_addv:
+                    if v is not None:
+                        raise ValueError(f"{kind.value} event takes a single vertex")
+                    n_events += 1
+                    n_vadds += 1
+                    if graph is not None:
+                        graph.add_vertex(u)
+                    if add_vertex(u):
+                        structural = True
+                else:
+                    # DELETE_VERTEX (or an unknown kind, which apply()
+                    # rejects): a barrier needing live connectivity.
+                    if type(event) is tuple:
+                        event = EdgeEvent(kind, u, v)
+                    barrier = event
+                    break
+        finally:
+            stats = self.stats
+            stats.events += n_events
+            stats.edge_adds += n_adds
+            stats.edge_deletes += n_deletes
+            stats.vertex_adds += n_vadds
+            stats.admissions += n_admitted
+            stats.evictions += n_evicted
+            stats.sample_deletions += n_sample_del
+            stats.malformed_events += n_malformed
+            if ops:
+                if probing:
+                    merges, splits = n_merges, n_splits
+                else:
+                    merges, splits = self._resolve_ops(base, base_labels, ops)
+                stats.component_merges += merges
+                stats.component_splits += splits
+            self._conn_stale = bool(diff)
+            if not diff and self._lazy_dirty and hasattr(self._conn, "mark_dirty"):
+                # The net diff cancelled out, so no flush will run — but a
+                # deletion still happened, and the per-event path would
+                # have dirtied the lazy backend's cache.
+                self._conn.mark_dirty()
+            if structural:
+                self._labels_cache = None
+                self._partition_cache = None
+        return barrier
+
+    def _sample_connected(
+        self, u: Vertex, v: Vertex, budget: int = 1024
+    ) -> Optional[bool]:
+        """Exact connectivity between ``u`` and ``v`` in the sampled
+        sub-graph, or None once the search has visited ``budget``
+        vertices (the batch loop then falls back to offline resolution).
+
+        Bidirectional BFS over the maintained sample adjacency, always
+        expanding the smaller frontier — for the sparse sub-graphs
+        reservoir sampling produces, components are tiny and a probe
+        touches a handful of vertices.
+        """
+        adj = self._sample_adj
+        neighbours = adj.get(u)
+        if not neighbours:
+            return False
+        if v in neighbours:
+            return True
+        if not adj.get(v):
+            return False
+        seen_a = {u}
+        seen_b = {v}
+        frontier_a = [u]
+        frontier_b = [v]
+        while frontier_a and frontier_b:
+            if len(seen_a) + len(seen_b) > budget:
+                return None
+            if len(frontier_a) > len(frontier_b):
+                frontier_a, frontier_b = frontier_b, frontier_a
+                seen_a, seen_b = seen_b, seen_a
+            next_frontier = []
+            for x in frontier_a:
+                for y in adj[x]:
+                    if y in seen_b:
+                        return True
+                    if y not in seen_a:
+                        seen_a.add(y)
+                        next_frontier.append(y)
+            frontier_a = next_frontier
+        return False
+
+    def _resolve_ops(
+        self,
+        base: List[Edge],
+        base_labels: Optional[Dict[Vertex, Vertex]],
+        ops: List[Tuple[bool, Vertex, Vertex]],
+    ) -> Tuple[int, int]:
+        """Exact merge/split counts for a batch's sample mutations.
+
+        For the hdt/naive backends this reproduces the online structure's
+        exact booleans via offline divide-and-conquer connectivity (with
+        an O(ops) union-find shortcut for deletion-free timelines). For
+        the lazy backend it reproduces that backend's documented
+        conservative semantics: exact while its cache would be clean,
+        "always True" once a deletion would have dirtied it.
+        """
+        if self.config.connectivity_backend == "lazy":
+            merges = splits = 0
+            dirty = self._lazy_dirty
+            rest = ops
+            if not dirty:
+                first_delete = len(ops)
+                for t, op in enumerate(ops):
+                    if not op[0]:
+                        first_delete = t
+                        break
+                if first_delete:
+                    merges += self._count_insert_merges(
+                        base, base_labels, ops[:first_delete]
+                    )
+                rest = ops[first_delete:]
+            for op in rest:
+                if op[0]:
+                    merges += 1
+                else:
+                    splits += 1
+                    dirty = True
+            self._lazy_dirty = dirty
+            return merges, splits
+        for op in ops:
+            if not op[0]:
+                break
+        else:
+            return self._count_insert_merges(base, base_labels, ops), 0
+        flags = resolve_sample_timeline(base, ops, base_labels=base_labels)
+        merges = splits = 0
+        for op, flag in zip(ops, flags):
+            if flag:
+                if op[0]:
+                    merges += 1
+                else:
+                    splits += 1
+        return merges, splits
+
+    @staticmethod
+    def _count_insert_merges(
+        base: List[Edge],
+        base_labels: Optional[Dict[Vertex, Vertex]],
+        inserts: List[Tuple[bool, Vertex, Vertex]],
+    ) -> int:
+        """Merge count for a deletion-free insert timeline (plain DSU)."""
+        uf = UnionFind()
+        union = uf.union
+        merges = 0
+        if base_labels is None:
+            for u, v in base:
+                union(u, v)
+            for _, u, v in inserts:
+                if union(u, v):
+                    merges += 1
+        else:
+            get_label = base_labels.get
+            for _, u, v in inserts:
+                if union(get_label(u, u), get_label(v, v)):
+                    merges += 1
+        return merges
+
+    def _flush_conn(self) -> None:
+        """Apply the deferred net edge diff to the connectivity structure.
+
+        Return values are discarded — the exact merge/split outcomes were
+        already resolved offline per batch. Deletes go first so an edge
+        slot freed by one net change can be refilled by another.
+        """
+        conn = self._conn
+        diff = self._conn_diff
+        inserts: List[Edge] = []
+        for edge, delta in diff.items():
+            if delta < 0:
+                conn.delete_edge(edge[0], edge[1])
+            else:
+                inserts.append(edge)
+        for u, v in inserts:
+            conn.insert_edge(u, v)
+        diff.clear()
+        self._conn_stale = False
+        if self._lazy_dirty and hasattr(conn, "mark_dirty"):
+            conn.mark_dirty()
+
+    def _invalidate(self) -> None:
+        self._labels_cache = None
+        self._partition_cache = None
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -128,8 +576,10 @@ class StreamingGraphClusterer:
             if not self._graph.add_edge(u, v):
                 self._malformed(f"duplicate ADD_EDGE ({u!r}, {v!r})")
                 return
-        self._conn.add_vertex(u)
-        self._conn.add_vertex(v)
+        fresh = self._conn.add_vertex(u)
+        fresh = self._conn.add_vertex(v) or fresh
+        if fresh:
+            self._invalidate()
         edge = canonical_edge(u, v)
         proposal = self._reservoir.propose_insert(edge)
         if not proposal.admit:
@@ -139,11 +589,18 @@ class StreamingGraphClusterer:
             self.stats.vetoes += 1
             return
         self._reservoir.commit(proposal)
+        self._invalidate()
         self.stats.admissions += 1
+        adj = self._sample_adj
         if proposal.evicted is not None:
             self.stats.evictions += 1
-            if self._conn.delete_edge(*proposal.evicted):
+            ev_u, ev_v = proposal.evicted
+            adj[ev_u].discard(ev_v)
+            adj[ev_v].discard(ev_u)
+            if self._conn.delete_edge(ev_u, ev_v):
                 self.stats.component_splits += 1
+        adj.setdefault(edge[0], set()).add(edge[1])
+        adj.setdefault(edge[1], set()).add(edge[0])
         if self._conn.insert_edge(u, v):
             self.stats.component_merges += 1
 
@@ -156,6 +613,9 @@ class StreamingGraphClusterer:
         edge = canonical_edge(u, v)
         if self._reservoir.delete(edge):
             self.stats.sample_deletions += 1
+            self._invalidate()
+            self._sample_adj[edge[0]].discard(edge[1])
+            self._sample_adj[edge[1]].discard(edge[0])
             if self._conn.delete_edge(u, v):
                 self.stats.component_splits += 1
         self._maybe_resample()
@@ -164,7 +624,8 @@ class StreamingGraphClusterer:
         self.stats.vertex_adds += 1
         if self._graph is not None:
             self._graph.add_vertex(v)
-        self._conn.add_vertex(v)
+        if self._conn.add_vertex(v):
+            self._invalidate()
 
     def _on_delete_vertex(self, v: Vertex) -> None:
         self.stats.vertex_deletes += 1
@@ -176,9 +637,12 @@ class StreamingGraphClusterer:
         if not self._graph.has_vertex(v):
             self._malformed(f"DELETE_VERTEX of absent vertex {v!r}")
             return
+        self._invalidate()
         for edge in self._graph.remove_vertex(v):
             if self._reservoir.delete(edge):
                 self.stats.sample_deletions += 1
+                self._sample_adj[edge[0]].discard(edge[1])
+                self._sample_adj[edge[1]].discard(edge[0])
                 if self._conn.delete_edge(*edge):
                     self.stats.component_splits += 1
         self._conn.remove_vertex_if_isolated(v)
@@ -206,6 +670,9 @@ class StreamingGraphClusterer:
         """Rebuild reservoir + connectivity from the tracked graph (O(m))."""
         assert self._graph is not None
         self.stats.resamples += 1
+        self._invalidate()
+        self._conn_stale = False
+        self._conn_diff.clear()
         self._reservoir = RandomPairingReservoir(
             self.config.reservoir_capacity,
             seed=child_seed(self.config.seed, "reservoir", self.stats.resamples),
@@ -214,6 +681,7 @@ class StreamingGraphClusterer:
             self.config.connectivity_backend,
             seed=child_seed(self.config.seed, "connectivity", self.stats.resamples),
         )
+        self._lazy_dirty = bool(getattr(self._conn, "dirty", False))
         for vertex in self._graph.vertices():
             self._conn.add_vertex(vertex)
         # Sort before shuffling: edge_list() order reflects adjacency-set
@@ -234,6 +702,11 @@ class StreamingGraphClusterer:
             if proposal.evicted is not None:
                 self._conn.delete_edge(*proposal.evicted)
             self._conn.insert_edge(*edge)
+        adj = self._sample_adj
+        adj.clear()
+        for u, v in self._reservoir:
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -246,8 +719,12 @@ class StreamingGraphClusterer:
         vertex set on restore. Component structure (the clustering) is
         an exact function of those, so the rebuilt structure answers
         every query identically; only its internal balancing randomness
-        differs, which is unobservable.
+        differs, which is unobservable. Any deferred batch diff is
+        flushed first, so batched and per-event runs checkpoint
+        identically.
         """
+        if self._conn_stale:
+            self._flush_conn()
         return {
             "config": self.config,
             "stats": self.stats.as_dict(),
@@ -271,6 +748,10 @@ class StreamingGraphClusterer:
         clusterer = cls(config)
         clusterer.stats = ClustererStats(**state["stats"])
         clusterer._reservoir = RandomPairingReservoir.from_state(state["reservoir"])
+        adj = clusterer._sample_adj
+        for u, v in clusterer._reservoir:
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
         resamples = clusterer.stats.resamples
         conn_seed = (
             child_seed(config.seed, "connectivity")
@@ -285,6 +766,7 @@ class StreamingGraphClusterer:
         if state.get("conn_dirty") and hasattr(conn, "mark_dirty"):
             conn.mark_dirty()
         clusterer._conn = conn
+        clusterer._lazy_dirty = bool(getattr(conn, "dirty", False))
         clusterer._rebuild_rng = make_rng(0)
         clusterer._rebuild_rng.setstate(state["rebuild_rng_state"])
         graph_state = state["graph"]
@@ -296,8 +778,30 @@ class StreamingGraphClusterer:
     # ------------------------------------------------------------------
     # Clustering queries
     # ------------------------------------------------------------------
+    def _labels(self) -> Dict[Vertex, Vertex]:
+        """Vertex → component-representative map over the current sample.
+
+        Built directly from the reservoir and the vertex universe (both
+        always current, even while connectivity updates are deferred) and
+        cached until the next structural change.
+        """
+        labels = self._labels_cache
+        if labels is None:
+            uf = UnionFind()
+            union = uf.union
+            for u, v in self._reservoir:
+                union(u, v)
+            find = uf.find
+            labels = {v: find(v) for v in self._conn.vertices()}
+            self._labels_cache = labels
+        return labels
+
     def cluster_id(self, v: Vertex) -> object:
         """Opaque id of ``v``'s cluster, valid until the next update."""
+        if self._conn_stale:
+            labels = self._labels()
+            if v in labels:
+                return labels[v]
         members = getattr(self._conn, "component_id", None)
         if members is not None:
             return members(v)
@@ -305,19 +809,35 @@ class StreamingGraphClusterer:
 
     def cluster_members(self, v: Vertex) -> FrozenSet[Vertex]:
         """All vertices clustered with ``v`` (including ``v``)."""
+        if self._conn_stale:
+            partition = self.snapshot()
+            if v in partition:
+                return partition.members(partition.label_of(v))
         return frozenset(self._conn.component_members(v))
 
     def cluster_size(self, v: Vertex) -> int:
         """Size of ``v``'s cluster (1 for unseen vertices)."""
+        if self._conn_stale:
+            partition = self.snapshot()
+            if v in partition:
+                return len(partition.members(partition.label_of(v)))
         return self._conn.component_size(v)
 
     def same_cluster(self, u: Vertex, v: Vertex) -> bool:
         """True if ``u`` and ``v`` are currently in the same cluster."""
+        if self._conn_stale:
+            labels = self._labels()
+            label_u = labels.get(u)
+            label_v = labels.get(v)
+            if label_u is not None and label_v is not None:
+                return label_u == label_v
         return self._conn.connected(u, v)
 
     @property
     def num_clusters(self) -> int:
         """Number of clusters (components of the sampled sub-graph)."""
+        if self._conn_stale:
+            return self.snapshot().num_clusters
         return self._conn.num_components
 
     @property
@@ -326,8 +846,21 @@ class StreamingGraphClusterer:
         return self._conn.num_vertices
 
     def snapshot(self) -> Partition:
-        """The current clustering as an immutable :class:`Partition`."""
-        return Partition.from_clusters(self._conn.components())
+        """The current clustering as an immutable :class:`Partition`.
+
+        Cached until the next structural change (admission, sample
+        deletion, or vertex-set change), so repeated quality probes
+        between updates cost a dict lookup, not a re-extraction.
+        """
+        partition = self._partition_cache
+        if partition is None:
+            if self._conn_stale:
+                partition = Partition(self._labels())
+            else:
+                partition = Partition.from_clusters(self._conn.components())
+            self._partition_cache = partition
+            self.partition_builds += 1
+        return partition
 
     def vertices(self) -> Iterable[Vertex]:
         """Iterate over all vertices the clusterer currently knows."""

@@ -62,6 +62,11 @@ class ClustererConfig:
         See :class:`DeletionPolicy`.
     seed:
         Master seed; all internal randomness derives from it.
+    batch_fast_path:
+        Allow ``apply_many`` to use the deferred-connectivity batch
+        ingestion path (unconstrained random-pairing configurations
+        only). The result is identical either way; disable only to
+        force the per-event reference path, e.g. when benchmarking it.
     """
 
     reservoir_capacity: int
@@ -72,6 +77,7 @@ class ClustererConfig:
     deletion_policy: DeletionPolicy = DeletionPolicy.RANDOM_PAIRING
     resample_threshold: float = 0.5
     seed: int = 0
+    batch_fast_path: bool = True
 
     def __post_init__(self) -> None:
         check_positive("reservoir_capacity", self.reservoir_capacity)

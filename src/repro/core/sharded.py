@@ -24,14 +24,21 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass
+from itertools import islice
 from queue import Empty
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.connectivity.union_find import UnionFind
-from repro.core.clusterer import StreamingGraphClusterer
+from repro.core.clusterer import AnyEvent, StreamingGraphClusterer
 from repro.core.config import ClustererConfig
 from repro.quality.partition import Partition
-from repro.streams.events import Edge, EdgeEvent, EventKind, Vertex
+from repro.streams.events import (
+    Edge,
+    EdgeEvent,
+    EventKind,
+    Vertex,
+    canonical_edge,
+)
 from repro.util.rng import child_seed
 from repro.util.validation import check_positive
 
@@ -93,6 +100,7 @@ def _shard_config(config: ClustererConfig, shard: int, num_shards: int) -> Clust
         deletion_policy=config.deletion_policy,
         resample_threshold=config.resample_threshold,
         seed=child_seed(config.seed, "shard", shard),
+        batch_fast_path=config.batch_fast_path,
     )
 
 
@@ -156,8 +164,62 @@ class ShardedClusterer:
                     continue
             clusterer.apply(event)
 
-    def process(self, events: Iterable[EdgeEvent]) -> "ShardedClusterer":
-        """Process a whole stream; returns self for chaining."""
+    def apply_many(self, events: Iterable[AnyEvent]) -> "ShardedClusterer":
+        """Apply a batch of events through the shards' batched fast path.
+
+        Edge events (``EdgeEvent`` or raw ``(kind, u, v)`` tuples) are
+        bucketed per shard — canonicalized first, since shard routing
+        keys on the canonical endpoint order — and each bucket is handed
+        to :meth:`StreamingGraphClusterer.apply_many` in one call.
+        Because shards are fully independent, per-shard order is all
+        that matters and the result is identical to routing events one
+        at a time. Vertex events are barriers: buckets flush, then the
+        event is broadcast exactly as in :meth:`apply`.
+        """
+        self._merged = None
+        buckets: List[List[AnyEvent]] = [[] for _ in range(self.num_shards)]
+
+        def flush() -> None:
+            for shard, bucket in enumerate(buckets):
+                if bucket:
+                    self.shard_events[shard] += len(bucket)
+                    self.shards[shard].apply_many(bucket)
+                    bucket.clear()
+
+        for event in events:
+            if type(event) is tuple:
+                kind, u, v = event
+                if kind is EventKind.ADD_EDGE or kind is EventKind.DELETE_EDGE:
+                    edge = canonical_edge(u, v)
+                    buckets[_shard_of(edge, self.num_shards)].append(event)
+                    continue
+                barrier = EdgeEvent(kind, u, v)
+            elif event.is_edge_event:
+                buckets[_shard_of(event.edge, self.num_shards)].append(event)
+                continue
+            else:
+                barrier = event
+            flush()
+            self.apply(barrier)
+        flush()
+        return self
+
+    def process(
+        self, events: Iterable[AnyEvent], batch_size: int | None = None
+    ) -> "ShardedClusterer":
+        """Process a whole stream; returns self for chaining.
+
+        ``batch_size`` chunks the stream through :meth:`apply_many`;
+        ``None`` (the default) keeps the per-event reference path.
+        """
+        if batch_size is not None:
+            check_positive("batch_size", batch_size)
+            iterator = iter(events)
+            while True:
+                chunk = list(islice(iterator, batch_size))
+                if not chunk:
+                    return self
+                self.apply_many(chunk)
         for event in events:
             self.apply(event)
         return self
@@ -325,14 +387,15 @@ def _run_shard(
     shard: int,
     config: ClustererConfig,
     num_shards: int,
-    events: Sequence[EdgeEvent],
+    events: Sequence[AnyEvent],
+    batch_size: int | None,
     fault,
     attempt: int,
 ) -> ShardResult:
     if fault is not None:
         fault(shard, attempt)
     clusterer = StreamingGraphClusterer(_shard_config(config, shard, num_shards))
-    clusterer.process(events)
+    clusterer.process(events, batch_size=batch_size)
     return ShardResult(
         shard=shard,
         sampled_edges=clusterer.reservoir_edges(),
@@ -343,10 +406,10 @@ def _run_shard(
 
 
 def _process_shard(
-    args: Tuple[int, ClustererConfig, int, Sequence[EdgeEvent]],
+    args: Tuple[int, ClustererConfig, int, Sequence[AnyEvent], Optional[int]],
 ) -> ShardResult:
-    shard, config, num_shards, events = args
-    return _run_shard(shard, config, num_shards, events, None, 1)
+    shard, config, num_shards, events, batch_size = args
+    return _run_shard(shard, config, num_shards, events, batch_size, None, 1)
 
 
 def _worker_entry(task, fault, attempt: int, queue) -> None:
@@ -397,7 +460,7 @@ def _run_supervised_inline(
     """
     results: List[ShardResult] = []
     for task in tasks:
-        shard, _, _, bucket = task
+        shard, bucket = task[0], task[3]
         last_error = "unknown"
         for attempt in range(1, supervisor.max_attempts + 1):
             delay = supervisor.delay_before(attempt)
@@ -524,12 +587,13 @@ def _run_supervised_pool(
 
 
 def cluster_stream_parallel(
-    events: Sequence[EdgeEvent],
+    events: Sequence[AnyEvent],
     config: ClustererConfig,
     num_shards: int,
     pool_processes: int | None = None,
     supervisor: SupervisorConfig | None = None,
     fault=None,
+    batch_size: int | None = None,
 ) -> Tuple[Partition, List[ShardResult]]:
     """Cluster a finite stream with one supervised process per shard.
 
@@ -537,7 +601,10 @@ def cluster_stream_parallel(
     worker processes (or inline when ``pool_processes`` is 0/1 or
     ``num_shards == 1``), and the shard samples are merged into the
     final partition. Only edge events are supported here — broadcast
-    vertex events need the online :class:`ShardedClusterer`.
+    vertex events need the online :class:`ShardedClusterer`. Events may
+    be :class:`EdgeEvent` instances or raw ``(kind, u, v)`` tuples;
+    ``batch_size`` makes each worker ingest its shard through the
+    batched fast path (``None`` keeps the per-event reference path).
 
     Pass a :class:`SupervisorConfig` to run under supervision: per-worker
     timeouts, bounded retry with exponential backoff, and graceful
@@ -547,16 +614,29 @@ def cluster_stream_parallel(
     into workers, for testing; providing one implies supervision.
     """
     check_positive("num_shards", num_shards)
-    buckets: List[List[EdgeEvent]] = [[] for _ in range(num_shards)]
+    buckets: List[List[AnyEvent]] = [[] for _ in range(num_shards)]
     for event in events:
-        if not event.is_edge_event:
+        if type(event) is tuple:
+            kind, u, v = event
+            if kind is not EventKind.ADD_EDGE and kind is not EventKind.DELETE_EDGE:
+                raise ValueError(
+                    "cluster_stream_parallel supports edge events only; "
+                    "use ShardedClusterer for vertex events"
+                )
+            edge = canonical_edge(u, v)
+        elif event.is_edge_event:
+            edge = event.edge
+        else:
             raise ValueError(
                 "cluster_stream_parallel supports edge events only; "
                 "use ShardedClusterer for vertex events"
             )
-        buckets[_shard_of(event.edge, num_shards)].append(event)
+        buckets[_shard_of(edge, num_shards)].append(event)
 
-    tasks = [(i, config, num_shards, bucket) for i, bucket in enumerate(buckets)]
+    tasks = [
+        (i, config, num_shards, bucket, batch_size)
+        for i, bucket in enumerate(buckets)
+    ]
     if fault is not None and supervisor is None:
         supervisor = SupervisorConfig()
     inline = num_shards == 1 or (pool_processes is not None and pool_processes <= 1)

@@ -35,7 +35,11 @@ class AdjacencyGraph:
     """
 
     def __init__(self, edges: Iterable[Edge] | None = None) -> None:
-        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        # Neighbour "sets" are insertion-ordered dicts so that edge and
+        # vertex iteration order is a pure function of the mutation
+        # sequence — serialized state must round-trip byte-identically
+        # through get_state/from_state (hash-ordered sets do not).
+        self._adj: Dict[Vertex, Dict[Vertex, None]] = {}
         self._num_edges = 0
         if edges is not None:
             for u, v in edges:
@@ -48,7 +52,7 @@ class AdjacencyGraph:
         """Add an isolated vertex; returns False if it already exists."""
         if v in self._adj:
             return False
-        self._adj[v] = set()
+        self._adj[v] = {}
         return True
 
     def add_edge(self, u: Vertex, v: Vertex) -> bool:
@@ -58,22 +62,35 @@ class AdjacencyGraph:
         introduce vertices through their first edge.
         """
         u, v = canonical_edge(u, v)
-        neighbours = self._adj.setdefault(u, set())
+        return self.add_canonical_edge(u, v)
+
+    def add_canonical_edge(self, u: Vertex, v: Vertex) -> bool:
+        """:meth:`add_edge` for endpoints already in canonical order.
+
+        Skips re-canonicalization — the caller guarantees ``(u, v)`` is
+        the canonical form and not a self-loop. The batched ingestion
+        hot path canonicalizes events in bulk and calls this directly.
+        """
+        neighbours = self._adj.setdefault(u, {})
         if v in neighbours:
             return False
-        neighbours.add(v)
-        self._adj.setdefault(v, set()).add(u)
+        neighbours[v] = None
+        self._adj.setdefault(v, {})[u] = None
         self._num_edges += 1
         return True
 
     def remove_edge(self, u: Vertex, v: Vertex) -> bool:
         """Remove the edge ``{u, v}``; returns False if it was absent."""
         u, v = canonical_edge(u, v)
+        return self.remove_canonical_edge(u, v)
+
+    def remove_canonical_edge(self, u: Vertex, v: Vertex) -> bool:
+        """:meth:`remove_edge` for endpoints already in canonical order."""
         neighbours = self._adj.get(u)
         if neighbours is None or v not in neighbours:
             return False
-        neighbours.discard(v)
-        self._adj[v].discard(u)
+        del neighbours[v]
+        del self._adj[v][u]
         self._num_edges -= 1
         return True
 
@@ -87,7 +104,7 @@ class AdjacencyGraph:
             return []
         removed: List[Edge] = []
         for w in neighbours:
-            self._adj[w].discard(v)
+            del self._adj[w][v]
             removed.append(canonical_edge(v, w))
         self._num_edges -= len(removed)
         return removed
@@ -189,7 +206,7 @@ class AdjacencyGraph:
     def copy(self) -> "AdjacencyGraph":
         """Deep copy of the graph structure."""
         clone = AdjacencyGraph()
-        clone._adj = {v: set(ns) for v, ns in self._adj.items()}
+        clone._adj = {v: dict(ns) for v, ns in self._adj.items()}
         clone._num_edges = self._num_edges
         return clone
 

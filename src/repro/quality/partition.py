@@ -28,7 +28,7 @@ class Partition:
     True
     """
 
-    __slots__ = ("_label", "_clusters", "_sizes")
+    __slots__ = ("_label", "_clusters", "_sizes", "_ordered")
 
     def __init__(self, labels: Mapping[Vertex, object]) -> None:
         self._label: Dict[Vertex, object] = dict(labels)
@@ -41,6 +41,7 @@ class Partition:
         self._sizes: Dict[object, int] = {
             label: len(members) for label, members in self._clusters.items()
         }
+        self._ordered: List[FrozenSet[Vertex]] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -84,11 +85,18 @@ class Partition:
         return self._clusters[label]
 
     def clusters(self) -> List[FrozenSet[Vertex]]:
-        """All clusters, largest first (ties broken deterministically)."""
-        return sorted(
-            self._clusters.values(),
-            key=lambda members: (-len(members), sorted(map(repr, members))),
-        )
+        """All clusters, largest first (ties broken deterministically).
+
+        The ordering is memoized — the partition is immutable and both
+        metrics and output writers call this repeatedly; a fresh list is
+        returned each time so callers may mutate it.
+        """
+        if self._ordered is None:
+            self._ordered = sorted(
+                self._clusters.values(),
+                key=lambda members: (-len(members), sorted(map(repr, members))),
+            )
+        return list(self._ordered)
 
     def labels(self) -> Dict[Vertex, object]:
         """Vertex → label mapping (copy)."""

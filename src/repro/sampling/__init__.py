@@ -17,10 +17,15 @@ is assembled from these pieces:
 from repro.sampling.algorithm_l import ReservoirL
 from repro.sampling.algorithm_r import ReservoirR
 from repro.sampling.bernoulli import BernoulliSampler
-from repro.sampling.random_pairing import InsertProposal, RandomPairingReservoir
+from repro.sampling.random_pairing import (
+    NOT_ADMITTED,
+    InsertProposal,
+    RandomPairingReservoir,
+)
 from repro.sampling.weighted import WeightedReservoir
 
 __all__ = [
+    "NOT_ADMITTED",
     "BernoulliSampler",
     "InsertProposal",
     "RandomPairingReservoir",

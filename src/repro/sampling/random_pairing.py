@@ -14,6 +14,15 @@ sample slot (and ``c_bad`` decrements), otherwise it is skipped (and
 ``c_good`` decrements). When no deletions are pending the classic
 Algorithm R step applies against the current population size.
 
+Storage layout
+--------------
+The sample lives in a flat slot list plus an item→slot index dict, so
+membership, admission, and eviction are all O(1) with no per-admission
+allocation: eviction swap-removes the victim's slot and appends the
+newcomer. Slot *order* is part of the observable state (the eviction
+victim is picked by slot index), so it round-trips through
+:meth:`get_state` exactly.
+
 Two-phase insertions
 --------------------
 The streaming clusterer must be able to *veto* an admission (constraint
@@ -32,19 +41,44 @@ Counter bookkeeping happens at propose time (the pairing slot is
 consumed whether or not the caller commits), so uniformity is preserved
 exactly in the unconstrained case and degrades only by the vetoes the
 caller actually issues.
+
+For unconstrained callers on a hot path, :meth:`insert_fast` fuses
+propose+commit without building an :class:`InsertProposal`, making the
+exact same RNG calls in the exact same order — a stream driven through
+it is bit-identical to one driven through the two-phase protocol.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generic, Iterator, List, Optional, TypeVar
+from typing import Dict, Generic, Iterator, List, Optional, TypeVar, Union
 
 from repro.util.rng import make_rng
 from repro.util.validation import check_positive
 
-__all__ = ["InsertProposal", "RandomPairingReservoir"]
+__all__ = ["NOT_ADMITTED", "InsertProposal", "RandomPairingReservoir"]
 
 T = TypeVar("T")
+
+
+class _NotAdmitted:
+    """Sentinel type for :data:`NOT_ADMITTED` (kept picklable/reprable)."""
+
+    _instance: Optional["_NotAdmitted"] = None
+
+    def __new__(cls) -> "_NotAdmitted":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NOT_ADMITTED"
+
+
+#: Returned by :meth:`RandomPairingReservoir.insert_fast` when the item was
+#: skipped. A distinct sentinel (not ``None``) because ``None`` means
+#: "admitted into a free slot, nothing evicted".
+NOT_ADMITTED = _NotAdmitted()
 
 
 @dataclass(frozen=True)
@@ -63,45 +97,6 @@ class InsertProposal(Generic[T]):
     evicted: Optional[T] = None
 
 
-class _IndexedSet(Generic[T]):
-    """Set with O(1) membership, add, discard, and uniform random choice."""
-
-    def __init__(self) -> None:
-        self._index: Dict[T, int] = {}
-        self._items: List[T] = []
-
-    def __len__(self) -> int:
-        return len(self._items)
-
-    def __contains__(self, item: T) -> bool:
-        return item in self._index
-
-    def __iter__(self) -> Iterator[T]:
-        return iter(self._items)
-
-    def add(self, item: T) -> None:
-        if item in self._index:
-            raise ValueError(f"duplicate sample item {item!r}")
-        self._index[item] = len(self._items)
-        self._items.append(item)
-
-    def discard(self, item: T) -> bool:
-        pos = self._index.pop(item, None)
-        if pos is None:
-            return False
-        last = self._items.pop()
-        if pos < len(self._items):  # the removed item was not the tail
-            self._items[pos] = last
-            self._index[last] = pos
-        return True
-
-    def choice(self, rng) -> T:
-        return self._items[rng.randrange(len(self._items))]
-
-    def items(self) -> List[T]:
-        return list(self._items)
-
-
 class RandomPairingReservoir(Generic[T]):
     """Uniform bounded-size sample of a stream with deletions."""
 
@@ -109,10 +104,31 @@ class RandomPairingReservoir(Generic[T]):
         check_positive("capacity", capacity)
         self._capacity = capacity
         self._rng = make_rng(seed)
-        self._sample: _IndexedSet[T] = _IndexedSet()
+        self._slots: List[T] = []
+        self._slot_of: Dict[T, int] = {}
         self._population = 0
         self._c_bad = 0  # uncompensated deletions that had been sampled
         self._c_good = 0  # uncompensated deletions that had not
+
+    # ------------------------------------------------------------------
+    # Slot-array primitives
+    # ------------------------------------------------------------------
+    def _add(self, item: T) -> None:
+        if item in self._slot_of:
+            raise ValueError(f"duplicate sample item {item!r}")
+        self._slot_of[item] = len(self._slots)
+        self._slots.append(item)
+
+    def _discard(self, item: T) -> bool:
+        pos = self._slot_of.pop(item, None)
+        if pos is None:
+            return False
+        slots = self._slots
+        last = slots.pop()
+        if pos < len(slots):  # the removed item was not the tail
+            slots[pos] = last
+            self._slot_of[last] = pos
+        return True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -135,21 +151,24 @@ class RandomPairingReservoir(Generic[T]):
     @property
     def sample_size(self) -> int:
         """Current number of sampled items."""
-        return len(self._sample)
+        return len(self._slots)
 
     def __len__(self) -> int:
-        return len(self._sample)
+        return len(self._slots)
 
     def contains(self, item: T) -> bool:
         """True if ``item`` is currently in the sample."""
-        return item in self._sample
+        return item in self._slot_of
 
     def __contains__(self, item: T) -> bool:
-        return item in self._sample
+        return item in self._slot_of
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._slots)
 
     def items(self) -> List[T]:
-        """The current sample as a list (copy)."""
-        return self._sample.items()
+        """The current sample as a list (copy, in slot order)."""
+        return list(self._slots)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -164,7 +183,7 @@ class RandomPairingReservoir(Generic[T]):
         """
         return {
             "capacity": self._capacity,
-            "items": self._sample.items(),
+            "items": list(self._slots),
             "population": self._population,
             "c_bad": self._c_bad,
             "c_good": self._c_good,
@@ -181,7 +200,7 @@ class RandomPairingReservoir(Generic[T]):
         sampler: "RandomPairingReservoir[T]" = cls(state["capacity"], seed=0)
         sampler._rng.setstate(state["rng_state"])
         for item in state["items"]:
-            sampler._sample.add(item)
+            sampler._add(item)
         sampler._population = state["population"]
         sampler._c_bad = state["c_bad"]
         sampler._c_good = state["c_good"]
@@ -205,11 +224,12 @@ class RandomPairingReservoir(Generic[T]):
                 return InsertProposal(item, admit=True)
             self._c_good -= 1
             return InsertProposal(item, admit=False)
-        if len(self._sample) < self._capacity:
+        if len(self._slots) < self._capacity:
             return InsertProposal(item, admit=True)
         # Steady state: classic Algorithm R against the live population.
         if self._rng.randrange(self._population) < self._capacity:
-            return InsertProposal(item, admit=True, evicted=self._sample.choice(self._rng))
+            evicted = self._slots[self._rng.randrange(len(self._slots))]
+            return InsertProposal(item, admit=True, evicted=evicted)
         return InsertProposal(item, admit=False)
 
     def commit(self, proposal: InsertProposal[T]) -> None:
@@ -217,8 +237,8 @@ class RandomPairingReservoir(Generic[T]):
         if not proposal.admit:
             raise ValueError("cannot commit a non-admitting proposal")
         if proposal.evicted is not None:
-            self._sample.discard(proposal.evicted)
-        self._sample.add(proposal.item)
+            self._discard(proposal.evicted)
+        self._add(proposal.item)
 
     def abort(self, proposal: InsertProposal[T]) -> None:
         """Veto a proposal; the sample is left untouched.
@@ -234,12 +254,43 @@ class RandomPairingReservoir(Generic[T]):
             self.commit(proposal)
         return proposal
 
+    def insert_fast(self, item: T) -> Union[T, "_NotAdmitted", None]:
+        """Fused propose+commit for unconstrained hot paths.
+
+        Returns :data:`NOT_ADMITTED` when the item was skipped, the
+        evicted resident when admission displaced one, or ``None`` when
+        a free (or pairing-vacated) slot absorbed the item. Draws from
+        the RNG exactly as :meth:`propose_insert`/:meth:`commit` would,
+        so the sampler evolves bit-identically either way.
+        """
+        self._population += 1
+        pending = self._c_bad + self._c_good
+        rng = self._rng
+        if pending > 0:
+            if rng.randrange(pending) < self._c_bad:
+                self._c_bad -= 1
+                self._add(item)
+                return None
+            self._c_good -= 1
+            return NOT_ADMITTED
+        slots = self._slots
+        size = len(slots)
+        if size < self._capacity:
+            self._add(item)
+            return None
+        if rng.randrange(self._population) < self._capacity:
+            evicted = slots[rng.randrange(size)]
+            self._discard(evicted)
+            self._add(item)
+            return evicted
+        return NOT_ADMITTED
+
     def delete(self, item: T) -> bool:
         """Account for a deletion; returns True if ``item`` left the sample."""
         if self._population <= 0:
             raise ValueError("delete from an empty population")
         self._population -= 1
-        if self._sample.discard(item):
+        if self._discard(item):
             self._c_bad += 1
             return True
         self._c_good += 1

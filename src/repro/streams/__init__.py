@@ -4,6 +4,7 @@ from repro.streams.events import (
     Edge,
     EdgeEvent,
     EventKind,
+    RawEvent,
     Vertex,
     add_edge,
     add_vertex,
@@ -23,7 +24,9 @@ from repro.streams.generators import (
 )
 from repro.streams.io import (
     read_edge_list,
+    read_event_batches,
     read_event_stream,
+    read_event_stream_raw,
     write_edge_list,
     write_event_stream,
 )
@@ -38,6 +41,7 @@ from repro.streams.order import (
     adversarial_bridge_first,
     insert_delete_stream,
     insert_only_stream,
+    insert_only_stream_raw,
     shuffled,
 )
 
@@ -48,6 +52,7 @@ __all__ = [
     "EventKind",
     "LFRGraph",
     "PlantedPartitionGraph",
+    "RawEvent",
     "TimestampedEvent",
     "Vertex",
     "add_edge",
@@ -62,11 +67,14 @@ __all__ = [
     "events_from_edges",
     "insert_delete_stream",
     "insert_only_stream",
+    "insert_only_stream_raw",
     "lfr_graph",
     "planted_partition",
     "power_law_sequence",
     "read_edge_list",
+    "read_event_batches",
     "read_event_stream",
+    "read_event_stream_raw",
     "rmat_edges",
     "sbm_stream",
     "shuffled",

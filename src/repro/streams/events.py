@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, Tuple
+from typing import Hashable, Iterable, Iterator, Optional, Tuple
 
 __all__ = [
     "Vertex",
     "Edge",
     "EventKind",
     "EdgeEvent",
+    "RawEvent",
     "canonical_edge",
     "add_edge",
     "delete_edge",
@@ -32,6 +33,13 @@ __all__ = [
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
+
+#: Lightweight event representation for the batched fast path: a plain
+#: ``(kind, u, v)`` tuple (``v=None`` for vertex events). Unlike
+#: :class:`EdgeEvent` it is *not* validated or canonicalized at
+#: construction — ``StreamingGraphClusterer.apply_many`` does both in
+#: bulk, raising the same errors an :class:`EdgeEvent` would.
+RawEvent = Tuple["EventKind", Vertex, Optional[Vertex]]
 
 
 class EventKind(enum.Enum):

@@ -30,6 +30,7 @@ from repro.streams.events import (
     Edge,
     EdgeEvent,
     EventKind,
+    RawEvent,
     add_edge,
     add_vertex,
     delete_edge,
@@ -40,6 +41,8 @@ __all__ = [
     "read_edge_list",
     "write_edge_list",
     "read_event_stream",
+    "read_event_stream_raw",
+    "read_event_batches",
     "write_event_stream",
 ]
 
@@ -193,3 +196,98 @@ def read_event_stream(
     finally:
         if owned:
             handle.close()
+
+
+_RAW_KIND = {
+    "+": EventKind.ADD_EDGE,
+    "-": EventKind.DELETE_EDGE,
+    "+v": EventKind.ADD_VERTEX,
+    "-v": EventKind.DELETE_VERTEX,
+}
+
+
+def read_event_stream_raw(
+    source: PathOrFile,
+    *,
+    strict: bool = True,
+    errors: Optional[List[str]] = None,
+) -> Iterator[RawEvent]:
+    """:func:`read_event_stream` yielding raw ``(kind, u, v)`` tuples.
+
+    The single-pass parse skips :class:`EdgeEvent` construction (and its
+    per-event canonicalization) entirely — the batched ingestion path
+    (``apply_many``) canonicalizes in bulk. Errors carry the same
+    ``file:line`` context as :func:`read_event_stream`, including
+    self-loop edges, which the :class:`EdgeEvent` constructor would have
+    rejected and are therefore still reported here rather than deep in
+    the clusterer.
+    """
+    name = _source_name(source)
+    handle, owned = _open_for_read(source)
+    raw_kind = _RAW_KIND
+    add_edge_kind = EventKind.ADD_EDGE
+    delete_edge_kind = EventKind.DELETE_EDGE
+    try:
+        for line_number, line in enumerate(handle, start=1):
+            parts = line.split()
+            if not parts or parts[0].startswith("#"):
+                continue
+            kind = raw_kind.get(parts[0])
+            if kind is add_edge_kind or kind is delete_edge_kind:
+                if len(parts) == 3:
+                    u = _parse_vertex(parts[1])
+                    v = _parse_vertex(parts[2])
+                    if u != v:
+                        yield (kind, u, v)
+                        continue
+                    message = (
+                        f"{name}:{line_number}: self-loop edges are not "
+                        f"allowed: ({u!r}, {v!r})"
+                    )
+                else:
+                    message = (
+                        f"{name}:{line_number}: unrecognized event syntax: "
+                        f"{line.strip()!r}"
+                    )
+            elif kind is not None and len(parts) == 2:
+                yield (kind, _parse_vertex(parts[1]), None)
+                continue
+            else:
+                message = (
+                    f"{name}:{line_number}: unrecognized event syntax: "
+                    f"{line.strip()!r}"
+                )
+            if strict:
+                raise StreamError(message)
+            if errors is not None:
+                errors.append(message)
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_event_batches(
+    source: PathOrFile,
+    batch_size: int,
+    *,
+    strict: bool = True,
+    errors: Optional[List[str]] = None,
+) -> Iterator[List[RawEvent]]:
+    """Read an event stream as batches of raw tuples.
+
+    Groups :func:`read_event_stream_raw` output into lists of up to
+    ``batch_size`` events, sized for ``apply_many``. The final batch may
+    be shorter; empty streams yield nothing.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    batch: List[RawEvent] = []
+    append = batch.append
+    for event in read_event_stream_raw(source, strict=strict, errors=errors):
+        append(event)
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch

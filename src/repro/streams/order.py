@@ -11,6 +11,8 @@ from typing import Iterable, List, Sequence
 from repro.streams.events import (
     Edge,
     EdgeEvent,
+    EventKind,
+    RawEvent,
     add_edge,
     delete_edge,
 )
@@ -20,6 +22,7 @@ from repro.util.validation import check_probability
 __all__ = [
     "shuffled",
     "insert_only_stream",
+    "insert_only_stream_raw",
     "insert_delete_stream",
     "adversarial_bridge_first",
 ]
@@ -35,6 +38,24 @@ def shuffled(events: Sequence[EdgeEvent], seed: int = 0) -> List[EdgeEvent]:
 def insert_only_stream(edges: Iterable[Edge], seed: int | None = 0) -> List[EdgeEvent]:
     """ADD_EDGE events for ``edges``, shuffled when ``seed`` is not None."""
     events = [add_edge(u, v) for u, v in edges]
+    if seed is not None:
+        make_rng(child_seed(seed, "insert_only")).shuffle(events)
+    return events
+
+
+def insert_only_stream_raw(
+    edges: Iterable[Edge], seed: int | None = 0
+) -> List[RawEvent]:
+    """:func:`insert_only_stream` as raw ``(kind, u, v)`` tuples.
+
+    Skips per-event :class:`EdgeEvent` construction for the batched
+    ingestion fast path. The shuffle draws the same permutation as
+    :func:`insert_only_stream` for the same seed (it depends only on the
+    seed and the list length), so both variants describe the *same*
+    stream and drive the clusterer to the same state.
+    """
+    kind = EventKind.ADD_EDGE
+    events: List[RawEvent] = [(kind, u, v) for u, v in edges]
     if seed is not None:
         make_rng(child_seed(seed, "insert_only")).shuffle(events)
     return events
