@@ -15,6 +15,7 @@ import sys
 import time
 from typing import Dict, Optional
 
+from repro import obs
 from repro.bench import ExperimentResult, render_table, save_results
 from repro.core import ClustererConfig, StreamingGraphClusterer
 from repro.datasets import Dataset, load_dataset
@@ -35,6 +36,13 @@ RESULTS_DIR = "bench_results"
 #: at import so two runs of the same benchmark see the same stream.
 GLOBAL_RNG_SEED = 0
 random.seed(GLOBAL_RNG_SEED)
+
+#: Benchmarks run with metric emission on so every saved record carries
+#: the internal counters (events by kind, admissions/evictions, probe
+#: budget hits, checkpoint bytes) alongside its wall-clock numbers —
+#: emission is batch-granular, so throughput rows are not perturbed.
+#: perf_smoke.py disables this explicitly around its measurements.
+obs.enable()
 
 
 def environment_record() -> Dict[str, object]:
@@ -102,8 +110,15 @@ def timed(fn):
 
 
 def finish(result: ExperimentResult) -> None:
-    """Persist and print an experiment record (environment-stamped)."""
+    """Persist and print an experiment record (environment-stamped).
+
+    Every record also embeds a snapshot of the default metrics registry,
+    so benchmark trajectories (E4 throughput, E13 checkpointing, …)
+    carry the internal counters that produced the wall-clock numbers,
+    not just the wall-clock numbers themselves.
+    """
     result.metadata.setdefault("environment", environment_record())
+    result.metadata.setdefault("metrics", obs.default_registry().snapshot())
     save_results(result, RESULTS_DIR)
     print()
     print(render_table(result.rows, title=f"{result.experiment}: {result.description}"))

@@ -32,7 +32,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_common import dataset_events, environment_record  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.core import ClustererConfig, StreamingGraphClusterer  # noqa: E402
+
+# bench_common enables metric emission for the experiment benchmarks;
+# the smoke's baseline numbers are defined with emission *off* (the
+# library default), so switch it back before measuring.
+obs.disable()
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / (
     "bench_results/perf_smoke_baseline.json"
@@ -43,6 +49,9 @@ BATCH_SIZE = 1024
 ROUNDS = 3  # best-of, to shed warmup and scheduler noise
 TOLERANCE = 0.30  # maximum allowed events/sec regression
 MIN_BATCH_RATIO = 2.0  # batched must stay >= 2x per-event on any machine
+METRICS_TOLERANCE = 0.03  # max throughput cost of the metrics layer
+OVERHEAD_EVENTS = 10000  # shorter prefix: relative sync cost is length-free
+OVERHEAD_ROUNDS = 20  # interleaved off/on round pairs for the overhead check
 
 
 def _ingest(events, capacity: int, batch_size: int | None) -> float:
@@ -69,6 +78,53 @@ def measure() -> dict:
         "batch_size": BATCH_SIZE,
         "per_event_events_per_sec": round(len(events) / per_event),
         "batched_events_per_sec": round(len(events) / batched),
+    }
+
+
+def metrics_overhead() -> dict:
+    """Throughput cost of the observability layer on the batched path.
+
+    Measures the same pinned-seed ingest with metric emission disabled
+    (the library default: one branch per batch) and fully enabled
+    (batch-granular counter/gauge sync into the default registry).
+    Disabled mode does strictly less work than enabled mode, so showing
+    the *enabled* cost stays under ``METRICS_TOLERANCE`` bounds the
+    no-op mode's cost a fortiori.
+
+    The measurement is paired and order-balanced: each round runs both
+    modes back to back, alternating which goes first, and the gate
+    compares best-of-rounds. Interleaving spreads machine-level drift
+    (thermal throttling, a background task) over both sides, and
+    alternating the within-pair order cancels allocator/cache carryover
+    from the preceding run — without it the second position measures a
+    systematic several-percent advantage that dwarfs the real cost.
+    """
+    _, events = dataset_events("dblp_like", seed=SEED)
+    events = events[:OVERHEAD_EVENTS]
+    raw = [(event.kind, event.u, event.v) for event in events]
+    capacity = max(1, len(events) // 10)
+    disabled_times, enabled_times = [], []
+    try:
+        for i in range(OVERHEAD_ROUNDS):
+            order = (False, True) if i % 2 else (True, False)
+            for run_disabled in order:
+                if run_disabled:
+                    obs.disable()
+                    disabled_times.append(_ingest(raw, capacity, BATCH_SIZE))
+                else:
+                    obs.enable()
+                    enabled_times.append(_ingest(raw, capacity, BATCH_SIZE))
+    finally:
+        obs.disable()
+        obs.default_registry().reset()
+    disabled = min(disabled_times)
+    enabled = min(enabled_times)
+    return {
+        "metrics_disabled_events_per_sec": round(len(events) / disabled),
+        "metrics_enabled_events_per_sec": round(len(events) / enabled),
+        "metrics_overhead_fraction": round(1.0 - disabled / enabled, 4)
+        if enabled
+        else 0.0,
     }
 
 
@@ -107,6 +163,16 @@ def main(argv=None) -> int:
     print(f"batched/per-event ratio: {ratio:.2f}x (floor {MIN_BATCH_RATIO}x)")
     if ratio < MIN_BATCH_RATIO:
         failures.append("batched/per-event ratio")
+
+    overhead = metrics_overhead()
+    print(
+        f"metrics overhead: {overhead['metrics_overhead_fraction']:+.1%} "
+        f"({overhead['metrics_disabled_events_per_sec']:,} ev/s off, "
+        f"{overhead['metrics_enabled_events_per_sec']:,} ev/s on, "
+        f"ceiling {METRICS_TOLERANCE:.0%})"
+    )
+    if overhead["metrics_overhead_fraction"] > METRICS_TOLERANCE:
+        failures.append("metrics overhead")
 
     if failures:
         print(f"perf smoke FAILED: {', '.join(failures)}", file=sys.stderr)

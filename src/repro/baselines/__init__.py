@@ -11,7 +11,7 @@ functions (sensible default parameters) for harness sweeps; algorithms
 needing a cluster count ``k`` are exposed via factories.
 """
 
-from typing import Callable, Dict
+from typing import Dict
 
 from repro.baselines.components import connected_components, sampled_components
 from repro.baselines.girvan_newman import edge_betweenness, girvan_newman

@@ -35,7 +35,7 @@ def label_propagation(
             if not counts:
                 continue
             best = max(counts.values())
-            candidates: List[int] = [l for l, c in counts.items() if c == best]
+            candidates: List[int] = [lab for lab, c in counts.items() if c == best]
             new_label = candidates[0] if len(candidates) == 1 else rng.choice(candidates)
             if new_label != label[v] and label[v] not in candidates:
                 changed = True

@@ -14,10 +14,20 @@ without writing Python:
 ``--checkpoint`` the full clusterer state is persisted atomically every
 ``--checkpoint-every`` events, and ``--resume`` restarts from the last
 checkpoint, replaying only the stream tail (identical output to an
-uninterrupted run — see ``docs/robustness.md``).
+uninterrupted run — see ``docs/robustness.md``). Resuming with flags
+that conflict with the checkpointed configuration (capacity, backend,
+seed, constraints) is refused with exit code 2 — a silent mismatch
+would produce a partition neither run would have produced.
+
+Long-lived jobs are observable: ``--progress-every N`` prints a one-line
+progress report (events/s, reservoir fill, clusters, checkpoint lag) to
+stderr every N events, and ``--metrics-out PATH`` writes a JSON snapshot
+of the internal metrics registry at exit (see ``docs/observability.md``).
 
 Malformed inputs exit with code 2 and a one-line message, not a
-traceback; ``--skip-malformed`` tolerates bad lines instead.
+traceback; ``--skip-malformed`` tolerates bad lines instead. A stdout
+consumer that closes the pipe early (``repro cluster ... | head``) ends
+the run quietly instead of with a ``BrokenPipeError`` traceback.
 
 Examples
 --------
@@ -119,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--resume", action="store_true",
                          help="resume from --checkpoint if it exists, replaying "
                               "only the stream tail")
+    cluster.add_argument("--metrics-out", metavar="PATH",
+                         help="write a JSON snapshot of the internal metrics "
+                              "registry to PATH at exit")
+    cluster.add_argument("--progress-every", type=_nonnegative_int, default=0,
+                         metavar="N",
+                         help="print a one-line progress report to stderr every "
+                              "N events (0: never)")
     cluster.add_argument("--inject-kill-after", type=_nonnegative_int, metavar="N",
                          help=argparse.SUPPRESS)  # testing aid: hard-exit after N events
 
@@ -207,6 +224,31 @@ def _build_constraint(args: argparse.Namespace) -> ConstraintPolicy:
     return CompositeConstraint(policies)
 
 
+#: Resumable ``ClustererConfig`` fields the CLI can set, with the flag
+#: spelling used in mismatch messages. Constraints are compared by repr
+#: (policy classes are stateless predicates without ``__eq__``).
+_RESUME_CHECKED_FIELDS = (
+    ("reservoir_capacity", "--capacity"),
+    ("connectivity_backend", "--backend"),
+    ("seed", "--seed"),
+    ("track_graph", "--lean"),
+    ("constraint", "--max-cluster-size/--min-clusters"),
+)
+
+
+def _resume_config_mismatches(restored, requested) -> List[str]:
+    """Human-readable list of fields where the checkpointed config and
+    the one requested on the command line disagree (empty = compatible)."""
+    mismatches: List[str] = []
+    for field, flag in _RESUME_CHECKED_FIELDS:
+        old, new = getattr(restored, field), getattr(requested, field)
+        if field == "constraint":
+            old, new = repr(old), repr(new)
+        if old != new:
+            mismatches.append(f"{flag}: checkpoint has {old!r}, requested {new!r}")
+    return mismatches
+
+
 def _run_cluster(args: argparse.Namespace) -> int:
     from repro.persist import PeriodicCheckpointer
     from repro.streams import (
@@ -225,6 +267,14 @@ def _run_cluster(args: argparse.Namespace) -> int:
         strict=False,
         seed=args.seed,
     )
+    metrics_on = bool(args.metrics_out or args.progress_every)
+    if metrics_on:
+        from repro import obs
+
+        # One CLI run = one metrics epoch: start from a clean registry
+        # so the snapshot describes exactly this invocation.
+        obs.default_registry().reset()
+        obs.enable()
     strict_io = not args.skip_malformed
     batch_size = args.batch_size or None
     io_errors: List[str] = []
@@ -258,6 +308,17 @@ def _run_cluster(args: argparse.Namespace) -> int:
                 f"{args.checkpoint} holds a {type(clusterer).__name__} "
                 "checkpoint; `repro cluster` resumes single clusterers only"
             )
+        mismatches = _resume_config_mismatches(clusterer.config, config)
+        if mismatches:
+            from repro.errors import CheckpointError
+
+            raise CheckpointError(
+                f"{args.checkpoint}: cannot --resume with flags that "
+                "conflict with the checkpointed configuration: "
+                + "; ".join(mismatches)
+                + " (re-run with matching flags, or delete the checkpoint "
+                "to start fresh)"
+            )
         stream = checkpointer.remaining(stream)
         print(
             f"resumed from {args.checkpoint} at event {checkpointer.position}",
@@ -276,6 +337,14 @@ def _run_cluster(args: argparse.Namespace) -> int:
         stream = kill_at_event(
             stream, args.inject_kill_after, action=lambda: os._exit(3)
         )
+
+    if args.progress_every:
+        from repro.obs import ProgressReporter
+
+        reporter = ProgressReporter(
+            args.progress_every, clusterer, checkpointer=checkpointer
+        )
+        stream = reporter.wrap(stream)
 
     if checkpointer is not None:
         checkpointer.process(stream, batch_size=batch_size)
@@ -296,6 +365,12 @@ def _run_cluster(args: argparse.Namespace) -> int:
         f"{stats.vetoes} constraint vetoes",
         file=sys.stderr,
     )
+    if args.metrics_out:
+        from repro import obs
+
+        clusterer.sync_metrics()
+        obs.default_registry().write_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     return 0
 
 
@@ -334,6 +409,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # The stdout consumer (e.g. `repro cluster ... | head`) closed
+        # the pipe; that's a normal way for a stream job to end, not a
+        # crash. Point stdout at devnull so the interpreter's exit-time
+        # flush doesn't raise a second, unhandled BrokenPipeError.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except Exception:
+            pass  # stdout has no real fd (captured/stubbed): nothing to flush
+        return 0
+    finally:
+        if getattr(args, "metrics_out", None) or getattr(args, "progress_every", 0):
+            from repro import obs
+
+            # The emission flag is process-global; don't leak it past
+            # the run that asked for it (library users of main()).
+            obs.disable()
 
 
 if __name__ == "__main__":

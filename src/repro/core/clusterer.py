@@ -48,6 +48,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 
 from repro.connectivity import make_connectivity
 from repro.connectivity.offline import resolve_sample_timeline
+from repro.obs import metrics as _obs
 from repro.connectivity.union_find import UnionFind
 from repro.core.config import ClustererConfig, DeletionPolicy
 from repro.core.constraints import Unconstrained
@@ -140,6 +141,15 @@ class StreamingGraphClusterer:
         #: :meth:`snapshot` — a probe counter for cache-effectiveness
         #: tests and benchmarks; not part of the persisted state.
         self.partition_builds = 0
+        #: Probe counters for the batched fast path's degradation modes
+        #: (like ``partition_builds``, not persisted): how often a batch
+        #: connectivity probe exhausted its BFS budget, and how often a
+        #: batch fell back to the offline divide-and-conquer resolver.
+        self.probe_budget_hits = 0
+        self.offline_resolves = 0
+        # Last counter values published to the metrics registry, so
+        # sync_metrics() emits exact deltas (see repro.obs).
+        self._metrics_last: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Stream consumption
@@ -187,6 +197,8 @@ class StreamingGraphClusterer:
                 if type(event) is tuple:
                     event = EdgeEvent(event[0], event[1], event[2])
                 self.apply(event)
+            if _obs._ENABLED:
+                self.sync_metrics()
             return self
         iterator = iter(events)
         while True:
@@ -210,6 +222,8 @@ class StreamingGraphClusterer:
                 if type(event) is tuple:
                     event = EdgeEvent(event[0], event[1], event[2])
                 self.apply(event)
+            if _obs._ENABLED:
+                self.sync_metrics()
             return self
         iterator = iter(events)
         while True:
@@ -310,6 +324,7 @@ class StreamingGraphClusterer:
                             alive = probe(ev_u, ev_v)
                             if alive is None:
                                 probing = False
+                                self.probe_budget_hits += 1
                             elif not alive:
                                 n_splits += 1
                         ops.append((False, ev_u, ev_v))
@@ -322,6 +337,7 @@ class StreamingGraphClusterer:
                         alive = probe(u, v)
                         if alive is None:
                             probing = False
+                            self.probe_budget_hits += 1
                         elif not alive:
                             n_merges += 1
                     neighbours = adj.get(u)
@@ -372,6 +388,7 @@ class StreamingGraphClusterer:
                             alive = probe(u, v)
                             if alive is None:
                                 probing = False
+                                self.probe_budget_hits += 1
                             elif not alive:
                                 n_splits += 1
                         ops.append((False, u, v))
@@ -422,6 +439,8 @@ class StreamingGraphClusterer:
             if structural:
                 self._labels_cache = None
                 self._partition_cache = None
+            if _obs._ENABLED:
+                self.sync_metrics()
         return barrier
 
     def _sample_connected(
@@ -508,6 +527,7 @@ class StreamingGraphClusterer:
                 break
         else:
             return self._count_insert_merges(base, base_labels, ops), 0
+        self.offline_resolves += 1
         flags = resolve_sample_timeline(base, ops, base_labels=base_labels)
         merges = splits = 0
         for op, flag in zip(ops, flags):
@@ -860,11 +880,71 @@ class StreamingGraphClusterer:
                 partition = Partition.from_clusters(self._conn.components())
             self._partition_cache = partition
             self.partition_builds += 1
+            if _obs._ENABLED:
+                self.sync_metrics()
         return partition
 
     def vertices(self) -> Iterable[Vertex]:
         """Iterate over all vertices the clusterer currently knows."""
         return self._conn.vertices()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    _METRIC_STAT_FIELDS = (
+        "events",
+        "edge_adds",
+        "edge_deletes",
+        "vertex_adds",
+        "vertex_deletes",
+        "admissions",
+        "vetoes",
+        "evictions",
+        "sample_deletions",
+        "component_merges",
+        "component_splits",
+        "malformed_events",
+        "resamples",
+    )
+    _METRIC_PROBE_FIELDS = (
+        "partition_builds",
+        "probe_budget_hits",
+        "offline_resolves",
+    )
+
+    def sync_metrics(self) -> None:
+        """Publish this clusterer's counters and gauges to the default
+        metrics registry (``clusterer.*`` — see docs/observability.md).
+
+        Counter deltas since the previous sync are added, so several
+        clusterers (e.g. shards) aggregate into the same series; gauges
+        (reservoir occupancy/fill, vertex count) are overwritten. Called
+        automatically at batch and stream boundaries when
+        :mod:`repro.obs` is enabled; per-event hot paths never pay more
+        than the single enabling branch.
+        """
+        registry = _obs.default_registry()
+        counter = registry.counter
+        last = self._metrics_last
+        stats = self.stats
+        for name in self._METRIC_STAT_FIELDS:
+            value = getattr(stats, name)
+            prev = last.get(name, 0)
+            if value > prev:
+                counter("clusterer." + name).inc(value - prev)
+                last[name] = value
+        for name in self._METRIC_PROBE_FIELDS:
+            value = getattr(self, name)
+            prev = last.get(name, 0)
+            if value > prev:
+                counter("clusterer." + name).inc(value - prev)
+                last[name] = value
+        size = len(self._reservoir)
+        registry.gauge("clusterer.reservoir_size").set(size)
+        registry.gauge("clusterer.reservoir_fill").set(
+            size / self.config.reservoir_capacity
+        )
+        registry.gauge("clusterer.num_vertices").set(self._conn.num_vertices)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.connectivity.union_find import UnionFind
 from repro.core.clusterer import AnyEvent, StreamingGraphClusterer
+from repro.obs import metrics as _obs
 from repro.core.config import ClustererConfig
 from repro.quality.partition import Partition
 from repro.streams.events import (
@@ -202,6 +203,8 @@ class ShardedClusterer:
             flush()
             self.apply(barrier)
         flush()
+        if _obs._ENABLED:
+            self.sync_metrics()
         return self
 
     def process(
@@ -222,6 +225,8 @@ class ShardedClusterer:
                 self.apply_many(chunk)
         for event in events:
             self.apply(event)
+        if _obs._ENABLED:
+            self.sync_metrics()
         return self
 
     # ------------------------------------------------------------------
@@ -298,6 +303,33 @@ class ShardedClusterer:
     def num_clusters(self) -> int:
         """Number of merged clusters."""
         return self._merge().num_clusters
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def sync_metrics(self) -> None:
+        """Publish per-shard event and skew gauges to the default
+        metrics registry (``sharded.*`` — see docs/observability.md).
+
+        Each shard's own ``clusterer.*`` counters are synced too, so one
+        call leaves the registry fully current. Called automatically at
+        ``apply_many``/``process`` boundaries when :mod:`repro.obs` is
+        enabled.
+        """
+        registry = _obs.default_registry()
+        gauge = registry.gauge
+        for shard, events in enumerate(self.shard_events):
+            gauge(f"sharded.shard_events.{shard}").set(events)
+        total = sum(self.shard_events)
+        busiest = max(self.shard_events, default=0)
+        gauge("sharded.shard_balance").set(self.shard_balance)
+        # Skew: busiest shard's load relative to a perfectly balanced
+        # one (1.0 = even; num_shards = everything on one shard).
+        skew = busiest * self.num_shards / total if total else 1.0
+        gauge("sharded.shard_skew").set(skew)
+        gauge("sharded.reservoir_size").set(self.total_reservoir_size)
+        for clusterer in self.shards:
+            clusterer.sync_metrics()
 
     # ------------------------------------------------------------------
     # Parallelism accounting
@@ -432,6 +464,8 @@ def _worker_entry(task, fault, attempt: int, queue) -> None:
 
 
 def _fail_shard(shard: int, bucket_len: int, attempts: int, error: str) -> ShardResult:
+    if _obs._ENABLED:
+        _obs.default_registry().counter("supervisor.degradations").inc()
     warnings.warn(
         f"shard {shard} failed permanently after {attempts} attempt(s) "
         f"({error}); dropping its sample from the merge",
@@ -463,6 +497,11 @@ def _run_supervised_inline(
         shard, bucket = task[0], task[3]
         last_error = "unknown"
         for attempt in range(1, supervisor.max_attempts + 1):
+            if _obs._ENABLED:
+                registry = _obs.default_registry()
+                registry.counter("supervisor.attempts").inc()
+                if attempt > 1:
+                    registry.counter("supervisor.retries").inc()
             delay = supervisor.delay_before(attempt)
             if delay:
                 time.sleep(delay)
@@ -519,6 +558,11 @@ def _run_supervised_pool(
         while waiting and waiting[0][0] <= now and len(running) < processes:
             _, shard = waiting.pop(0)
             attempts[shard] += 1
+            if _obs._ENABLED:
+                registry = _obs.default_registry()
+                registry.counter("supervisor.attempts").inc()
+                if attempts[shard] > 1:
+                    registry.counter("supervisor.retries").inc()
             process = ctx.Process(
                 target=_worker_entry,
                 args=(by_shard[shard], fault, attempts[shard], queue),
@@ -554,6 +598,8 @@ def _run_supervised_pool(
             if now > deadline:
                 running.pop(shard)
                 process.terminate()
+                if _obs._ENABLED:
+                    _obs.default_registry().counter("supervisor.timeouts").inc()
                 reap(shard, process, f"timeout after {supervisor.timeout}s")
             elif not process.is_alive():
                 # Dead without reporting: give the queue feeder one tick
@@ -563,6 +609,10 @@ def _run_supervised_pool(
                     late_shard, status, payload = queue.get_nowait()
                 except Empty:
                     running.pop(shard)
+                    if _obs._ENABLED:
+                        _obs.default_registry().counter(
+                            "supervisor.worker_deaths"
+                        ).inc()
                     reap(
                         shard,
                         process,

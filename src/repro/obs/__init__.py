@@ -1,0 +1,36 @@
+"""Observability: process-local metrics and structured progress.
+
+The library layers (clusterer, sharded driver, parallel supervisor,
+checkpointer) are instrumented against the process-global default
+registry; emission is off by default and costs a single branch per
+batch when disabled. See :mod:`repro.obs.metrics` for the model,
+``docs/observability.md`` for the metric catalog, and
+:class:`repro.obs.progress.ProgressReporter` for the CLI's periodic
+progress lines.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    disable,
+    enable,
+    is_enabled,
+    set_enabled,
+)
+from repro.obs.progress import ProgressReporter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "default_registry",
+    "disable",
+    "enable",
+    "is_enabled",
+    "set_enabled",
+]

@@ -19,10 +19,12 @@ write-rename, so a crash during the save keeps the previous one).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import islice
 from typing import Iterable, Union
 
+from repro.obs import metrics as _obs
 from repro.core.clusterer import StreamingGraphClusterer
 from repro.core.sharded import ShardedClusterer
 from repro.errors import CheckpointError
@@ -158,6 +160,10 @@ class PeriodicCheckpointer:
         self.every = every
         self.position = position
         self.saves = 0
+        #: Stream position of the most recent durable save — the
+        #: difference against ``position`` is the *checkpoint lag* (how
+        #: many events a crash right now would replay).
+        self.last_saved_position = position
         if save_initial:
             self.save()
 
@@ -175,8 +181,18 @@ class PeriodicCheckpointer:
 
     def save(self) -> int:
         """Write a checkpoint now (atomic); returns its size in bytes."""
+        start = time.perf_counter()
         size = save_checkpoint(self.clusterer, self.path, position=self.position)
         self.saves += 1
+        self.last_saved_position = self.position
+        if _obs._ENABLED:
+            registry = _obs.default_registry()
+            registry.histogram("checkpoint.save_seconds").observe(
+                time.perf_counter() - start
+            )
+            registry.counter("checkpoint.bytes_written").inc(size)
+            registry.counter("checkpoint.saves").inc()
+            registry.gauge("checkpoint.last_saved_position").set(self.position)
         return size
 
     def apply(self, event: EdgeEvent) -> None:

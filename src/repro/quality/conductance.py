@@ -18,9 +18,10 @@ from typing import Dict, List
 
 from typing import TYPE_CHECKING
 
+from repro.quality.partition import Partition
+
 if TYPE_CHECKING:  # avoid a circular import; only needed for type hints
     from repro.graph.adjacency import AdjacencyGraph
-from repro.quality.partition import Partition
 
 __all__ = [
     "ClusterCutStats",

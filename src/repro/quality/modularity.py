@@ -16,9 +16,10 @@ from typing import Dict
 
 from typing import TYPE_CHECKING
 
+from repro.quality.partition import Partition
+
 if TYPE_CHECKING:  # avoid a circular import; only needed for type hints
     from repro.graph.adjacency import AdjacencyGraph
-from repro.quality.partition import Partition
 
 __all__ = ["modularity"]
 

@@ -196,10 +196,33 @@ class RandomPairingReservoir(Generic[T]):
 
         The restored sampler makes bit-identical future decisions: the
         RNG state, counters, and sample slot order are all exact.
+
+        The state is validated before use — an oversized or duplicated
+        sample, or negative counters, can never come from
+        :meth:`get_state` and would silently corrupt every later
+        sampling decision, so a structurally impossible state raises
+        :class:`ValueError` here (the persistence layer surfaces it as a
+        :class:`~repro.errors.CheckpointError`).
         """
-        sampler: "RandomPairingReservoir[T]" = cls(state["capacity"], seed=0)
+        capacity = state["capacity"]
+        items = state["items"]
+        if len(items) > capacity:
+            raise ValueError(
+                f"corrupt sampler state: {len(items)} sample items exceed "
+                f"capacity {capacity}"
+            )
+        for field in ("population", "c_bad", "c_good"):
+            if state[field] < 0:
+                raise ValueError(
+                    f"corrupt sampler state: negative {field} ({state[field]})"
+                )
+        sampler: "RandomPairingReservoir[T]" = cls(capacity, seed=0)
         sampler._rng.setstate(state["rng_state"])
-        for item in state["items"]:
+        for item in items:
+            if item in sampler._slot_of:
+                raise ValueError(
+                    f"corrupt sampler state: duplicate sample item {item!r}"
+                )
             sampler._add(item)
         sampler._population = state["population"]
         sampler._c_bad = state["c_bad"]

@@ -110,7 +110,6 @@ def planted_partition(
     check_probability("p_out", p_out)
     if num_communities > num_vertices:
         raise ValueError("more communities than vertices")
-    rng = make_rng(child_seed(seed, "planted_partition"))
     communities: List[List[int]] = [[] for _ in range(num_communities)]
     for v in range(num_vertices):
         communities[v % num_communities].append(v)

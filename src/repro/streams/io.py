@@ -18,6 +18,16 @@ Error handling mirrors the clusterer's ``strict`` semantics: by default
 a malformed line raises :class:`~repro.errors.StreamError` with
 ``file:line`` context; with ``strict=False`` malformed lines are skipped
 and (optionally) collected, so a long ingest survives a few bad records.
+
+Self-loop policy
+----------------
+The clustering model has no use for self-loops (an edge cannot merge a
+vertex with itself), so a self-loop line is *malformed input*, exactly
+like a line with too few fields: every reader in this module —
+:func:`read_edge_list`, :func:`read_event_stream`,
+:func:`read_event_stream_raw` — raises :class:`StreamError` on one when
+``strict`` and skips/collects it when not. No reader drops self-loops
+silently; a clean run means the input contained none.
 """
 
 from __future__ import annotations
@@ -80,12 +90,13 @@ def read_edge_list(
     strict: bool = True,
     errors: Optional[List[str]] = None,
 ) -> List[Edge]:
-    """Parse an edge-list file; skips comments, blanks, and self-loops.
+    """Parse an edge-list file; skips comments and blank lines.
 
-    A malformed line raises :class:`StreamError` with ``file:line``
-    context when ``strict`` (the default). With ``strict=False`` it is
-    skipped instead; pass a list as ``errors`` to collect one message
-    per skipped line (``len(errors)`` is the malformed-line count).
+    A malformed line — too few fields, or a self-loop (see the module
+    docstring) — raises :class:`StreamError` with ``file:line`` context
+    when ``strict`` (the default). With ``strict=False`` it is skipped
+    instead; pass a list as ``errors`` to collect one message per
+    skipped line (``len(errors)`` is the malformed-line count).
     """
     name = _source_name(source)
     handle, owned = _open_for_read(source)
@@ -98,15 +109,19 @@ def read_edge_list(
             parts = stripped.split()
             if len(parts) < 2:
                 message = f"{name}:{line_number}: expected two vertex ids: {stripped!r}"
-                if strict:
-                    raise StreamError(message)
-                if errors is not None:
-                    errors.append(message)
-                continue
-            u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
-            if u == v:
-                continue
-            edges.append((u, v))
+            else:
+                u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
+                if u != v:
+                    edges.append((u, v))
+                    continue
+                message = (
+                    f"{name}:{line_number}: self-loop edges are not "
+                    f"allowed: ({u!r}, {v!r})"
+                )
+            if strict:
+                raise StreamError(message)
+            if errors is not None:
+                errors.append(message)
         return edges
     finally:
         if owned:

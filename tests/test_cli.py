@@ -170,6 +170,87 @@ class TestErrorHandling:
         assert main(["cluster", str(stream), "--events", "--capacity", "10"]) == 2
         assert "s.events:2" in capsys.readouterr().err
 
+    def test_skip_malformed_count_on_batched_event_path(self, tmp_path, capsys):
+        # The default batch size routes --events input through the raw
+        # reader; the skipped-line count must still be exact.
+        stream = tmp_path / "s.events"
+        stream.write_text("+ 1 2\n* nonsense\n+ 2 3\n+ 4 4\n+ 3 4\n")
+        labels = tmp_path / "out.labels"
+        code = main([
+            "cluster", str(stream), "--events", "--capacity", "10",
+            "--skip-malformed", "--out", str(labels),
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "skipped 2 malformed input lines" in err  # bad op + self-loop
+        assert len(labels.read_text().splitlines()) == 4
+
+    def test_broken_pipe_exits_cleanly(self, workload, monkeypatch):
+        # `repro cluster ... | head` closes stdout early; the CLI must
+        # treat that as a normal end of the run, not a traceback.
+        edges, _ = workload
+
+        class ClosedPipe:
+            def write(self, text):
+                raise BrokenPipeError(32, "Broken pipe")
+
+            def flush(self):
+                raise BrokenPipeError(32, "Broken pipe")
+
+        monkeypatch.setattr(sys, "stdout", ClosedPipe())
+        assert main(["cluster", str(edges), "--capacity", "50"]) == 0
+
+
+class TestObservability:
+    def test_metrics_out_writes_snapshot(self, workload, tmp_path, capsys):
+        import json
+
+        edges, _ = workload
+        metrics = tmp_path / "metrics.json"
+        ckpt = tmp_path / "run.ckpt"
+        code = main([
+            "cluster", str(edges), "--capacity", "500", "--seed", "5",
+            "--checkpoint", str(ckpt), "--checkpoint-every", "100",
+            "--metrics-out", str(metrics), "--out", str(tmp_path / "labels"),
+        ])
+        assert code == 0
+        assert "metrics written to" in capsys.readouterr().err
+        snapshot = json.loads(metrics.read_text())
+        events = snapshot["clusterer.events"]
+        assert events["kind"] == "counter" and events["value"] > 100
+        assert snapshot["clusterer.reservoir_size"]["value"] <= 500
+        assert snapshot["checkpoint.saves"]["value"] >= 2
+        assert snapshot["checkpoint.save_seconds"]["kind"] == "histogram"
+        assert (
+            snapshot["checkpoint.save_seconds"]["count"]
+            == snapshot["checkpoint.saves"]["value"]
+        )
+
+    def test_progress_every_reports_to_stderr(self, workload, capsys):
+        edges, _ = workload
+        code = main([
+            "cluster", str(edges), "--capacity", "100", "--seed", "5",
+            "--progress-every", "200", "--out", os.devnull,
+        ])
+        assert code == 0
+        progress = [line for line in capsys.readouterr().err.splitlines()
+                    if line.startswith("progress:")]
+        assert len(progress) >= 2
+        assert "ev/s" in progress[0] and "reservoir" in progress[0]
+        assert "clusters" in progress[0]
+
+    def test_metrics_flag_does_not_leak_into_later_runs(self, workload,
+                                                        tmp_path):
+        from repro import obs
+
+        edges, _ = workload
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "cluster", str(edges), "--capacity", "100",
+            "--metrics-out", str(metrics), "--out", os.devnull,
+        ]) == 0
+        assert not obs.is_enabled()
+
 
 class TestCheckpointResume:
     def test_checkpoint_written_and_resume_is_identical(self, workload, tmp_path,
@@ -207,6 +288,46 @@ class TestCheckpointResume:
         assert code == 2
         err = capsys.readouterr().err
         assert err.startswith("error:") and "checksum" in err
+
+    def test_resume_with_conflicting_flags_is_refused(self, workload, tmp_path,
+                                                      capsys):
+        edges, _ = workload
+        ckpt = tmp_path / "run.ckpt"
+        base = ["cluster", str(edges), "--seed", "5", "--checkpoint", str(ckpt)]
+        assert main([*base, "--capacity", "500", "--out",
+                     str(tmp_path / "a")]) == 0
+        capsys.readouterr()
+        code = main([*base, "--capacity", "600", "--seed", "7", "--resume",
+                     "--out", str(tmp_path / "b")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+        assert "--capacity" in err and "500" in err and "600" in err
+        assert "--seed" in err and "--backend" not in err
+        assert not (tmp_path / "b").exists()  # refused before any work
+
+    def test_resume_with_matching_flags_is_accepted(self, workload, tmp_path,
+                                                    capsys):
+        edges, _ = workload
+        ckpt = tmp_path / "run.ckpt"
+        base = ["cluster", str(edges), "--capacity", "500", "--seed", "5",
+                "--checkpoint", str(ckpt)]
+        assert main([*base, "--out", str(tmp_path / "a")]) == 0
+        assert main([*base, "--resume", "--out", str(tmp_path / "b")]) == 0
+        assert "resumed from" in capsys.readouterr().err
+
+    def test_resume_refuses_constraint_mismatch(self, workload, tmp_path,
+                                                capsys):
+        edges, _ = workload
+        ckpt = tmp_path / "run.ckpt"
+        base = ["cluster", str(edges), "--capacity", "500", "--seed", "5",
+                "--checkpoint", str(ckpt)]
+        assert main([*base, "--out", str(tmp_path / "a")]) == 0
+        capsys.readouterr()
+        code = main([*base, "--max-cluster-size", "40", "--resume",
+                     "--out", str(tmp_path / "b")])
+        assert code == 2
+        assert "--max-cluster-size" in capsys.readouterr().err
 
     def test_kill_and_resume_subprocess(self, workload, tmp_path):
         """Hard-kill a CLI run mid-stream (os._exit), then resume from the

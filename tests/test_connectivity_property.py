@@ -42,10 +42,10 @@ def test_hdt_matches_recomputed_components(ops, backend_seed):
         e = (min(a, b), max(a, b))
         vertices.update(e)
         if e in edges:
-            split = conn.delete_edge(*e)
+            conn.delete_edge(*e)
             edges.discard(e)
         else:
-            merged = conn.insert_edge(*e)
+            conn.insert_edge(*e)
             edges.add(e)
         expected = _components_oracle(edges, vertices)
         actual = sorted(tuple(sorted(c)) for c in conn.components())

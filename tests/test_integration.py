@@ -4,9 +4,7 @@ These exercise the exact paths the benchmarks use, at reduced scale, so
 a green test suite implies the experiment harness can run.
 """
 
-import pytest
-
-from repro.baselines import PeriodicRecomputeClusterer, connected_components, louvain
+from repro.baselines import PeriodicRecomputeClusterer, louvain
 from repro.core import (
     ClustererConfig,
     MaxClusterSize,

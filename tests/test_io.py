@@ -34,8 +34,20 @@ class TestEdgeList:
         text = "# header\n\n1 2\n# mid\n3 4\n"
         assert read_edge_list(io.StringIO(text)) == [(1, 2), (3, 4)]
 
-    def test_self_loops_dropped(self):
-        assert read_edge_list(io.StringIO("1 1\n1 2\n")) == [(1, 2)]
+    def test_self_loop_raises_when_strict(self):
+        # Same policy as the event-stream readers: a self-loop is
+        # malformed input, not something to drop silently.
+        with pytest.raises(StreamError, match=r":1:.*self-loop"):
+            read_edge_list(io.StringIO("1 1\n1 2\n"))
+
+    def test_self_loop_skipped_and_counted_when_not_strict(self):
+        errors = []
+        edges = read_edge_list(
+            io.StringIO("1 1\n1 2\n"), strict=False, errors=errors
+        )
+        assert edges == [(1, 2)]
+        assert len(errors) == 1
+        assert "self-loop" in errors[0] and ":1:" in errors[0]
 
     def test_extra_columns_tolerated(self):
         # SNAP files sometimes carry timestamps in a third column.

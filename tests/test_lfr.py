@@ -1,6 +1,5 @@
 """Unit tests for the LFR-style generator."""
 
-import math
 import random
 
 import pytest

@@ -1,7 +1,5 @@
 """Unit tests for modularity, conductance, and external metrics."""
 
-import math
-
 import pytest
 
 from repro.graph import AdjacencyGraph

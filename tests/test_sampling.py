@@ -150,6 +150,39 @@ class TestRandomPairing:
         assert sorted(rp.items()) == before
         assert rp.population == 2  # population still counts the item
 
+    def test_from_state_roundtrip(self):
+        rp = RandomPairingReservoir(3, seed=5)
+        for x in range(10):
+            rp.insert(x)
+        rp.delete(rp.items()[0])
+        restored = RandomPairingReservoir.from_state(rp.get_state())
+        assert restored.items() == rp.items()
+        assert restored.population == rp.population
+        assert restored.pending_deletions == rp.pending_deletions
+
+    @pytest.fixture
+    def sampler_state(self):
+        rp = RandomPairingReservoir(3, seed=5)
+        for x in range(10):
+            rp.insert(x)
+        return rp.get_state()
+
+    def test_from_state_rejects_oversized_sample(self, sampler_state):
+        sampler_state["items"] = list(range(sampler_state["capacity"] + 1))
+        with pytest.raises(ValueError, match="exceed"):
+            RandomPairingReservoir.from_state(sampler_state)
+
+    def test_from_state_rejects_duplicate_items(self, sampler_state):
+        sampler_state["items"] = ["a"] * len(sampler_state["items"])
+        with pytest.raises(ValueError, match="duplicate"):
+            RandomPairingReservoir.from_state(sampler_state)
+
+    @pytest.mark.parametrize("field", ["population", "c_bad", "c_good"])
+    def test_from_state_rejects_negative_counters(self, sampler_state, field):
+        sampler_state[field] = -1
+        with pytest.raises(ValueError, match=f"negative {field}"):
+            RandomPairingReservoir.from_state(sampler_state)
+
     def test_uniform_over_surviving_population(self):
         # Insert 30, delete 10 specific ones, insert 10 more; every one
         # of the 30 survivors should be sampled equally often.
