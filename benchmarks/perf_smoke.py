@@ -1,13 +1,15 @@
 """CI throughput smoke: fail on large ingestion-speed regressions.
 
 Runs a pinned-seed mini version of experiment E4 (a prefix of the
-dblp_like insert-only stream) through both ingestion paths and compares
-events/sec against the committed baseline in
-``bench_results/perf_smoke_baseline.json``:
+dblp_like insert-only stream) through the per-event, batched and
+multiprocess-pipeline ingestion paths and compares events/sec against
+the committed baseline in ``bench_results/perf_smoke_baseline.json``:
 
-* a drop of more than ``TOLERANCE`` (30%) on either path fails the job;
+* a drop of more than ``TOLERANCE`` (30%) on any path fails the job;
 * the batched path must also keep a healthy machine-independent margin
-  over the per-event path (ratio check, immune to runner speed).
+  over the per-event path (ratio check, immune to runner speed);
+* the pipeline run (2 workers, spawn excluded from the clock) must end
+  in exactly the partition sequential sharded execution reaches.
 
 CI runners are slower and noisier than dev machines, so the baseline
 stores *this repo's* committed reference numbers and the tolerance is
@@ -33,7 +35,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_common import dataset_events, environment_record  # noqa: E402
 
 from repro import obs  # noqa: E402
-from repro.core import ClustererConfig, StreamingGraphClusterer  # noqa: E402
+from repro.core import (  # noqa: E402
+    ClustererConfig,
+    PipelineClusterer,
+    ShardedClusterer,
+    StreamingGraphClusterer,
+)
 
 # bench_common enables metric emission for the experiment benchmarks;
 # the smoke's baseline numbers are defined with emission *off* (the
@@ -49,6 +56,7 @@ BATCH_SIZE = 1024
 ROUNDS = 3  # best-of, to shed warmup and scheduler noise
 TOLERANCE = 0.30  # maximum allowed events/sec regression
 MIN_BATCH_RATIO = 2.0  # batched must stay >= 2x per-event on any machine
+PIPELINE_WORKERS = 2  # small pool: the smoke gates routing/framing cost
 METRICS_TOLERANCE = 0.03  # max throughput cost of the metrics layer
 OVERHEAD_EVENTS = 10000  # shorter prefix: relative sync cost is length-free
 OVERHEAD_ROUNDS = 20  # interleaved off/on round pairs for the overhead check
@@ -63,21 +71,60 @@ def _ingest(events, capacity: int, batch_size: int | None) -> float:
     return time.perf_counter() - start
 
 
+def _ingest_pipeline(raw, capacity: int) -> float:
+    """Pipeline wall time with worker spawn excluded from the clock.
+
+    Process startup is a fixed fee paid once per run, not an ingestion
+    cost, so the pool is up before the timer starts; the trailing
+    ``worker_metrics`` round-trip is a barrier that guarantees every
+    frame has been decoded and applied before the timer stops.
+    """
+    config = ClustererConfig(reservoir_capacity=capacity, strict=False, seed=SEED)
+    with PipelineClusterer(
+        config, PIPELINE_WORKERS, batch_events=BATCH_SIZE
+    ) as pipe:
+        start = time.perf_counter()
+        pipe.process(raw)
+        pipe.worker_metrics()
+        return time.perf_counter() - start
+
+
+def _check_pipeline_partition(raw, capacity: int) -> None:
+    """The smoke's pipeline numbers only count if the answer is right."""
+    config = ClustererConfig(reservoir_capacity=capacity, strict=False, seed=SEED)
+    with PipelineClusterer(
+        config, PIPELINE_WORKERS, batch_events=BATCH_SIZE
+    ) as pipe:
+        pipe.process(raw)
+        got = pipe.snapshot()
+    reference = ShardedClusterer(config, num_shards=PIPELINE_WORKERS).process(
+        list(raw), batch_size=BATCH_SIZE
+    )
+    if got != reference.snapshot():
+        raise AssertionError(
+            "pipeline partition diverged from sequential sharded execution"
+        )
+
+
 def measure() -> dict:
-    """Best-of-``ROUNDS`` events/sec for both ingestion paths."""
+    """Best-of-``ROUNDS`` events/sec for the three ingestion paths."""
     _, events = dataset_events("dblp_like", seed=SEED)
     events = events[:PREFIX_EVENTS]
     raw = [(event.kind, event.u, event.v) for event in events]
     capacity = max(1, len(events) // 10)
     per_event = min(_ingest(events, capacity, None) for _ in range(ROUNDS))
     batched = min(_ingest(raw, capacity, BATCH_SIZE) for _ in range(ROUNDS))
+    _check_pipeline_partition(raw, capacity)
+    pipeline = min(_ingest_pipeline(raw, capacity) for _ in range(ROUNDS))
     return {
         "events": len(events),
         "capacity": capacity,
         "seed": SEED,
         "batch_size": BATCH_SIZE,
+        "pipeline_workers": PIPELINE_WORKERS,
         "per_event_events_per_sec": round(len(events) / per_event),
         "batched_events_per_sec": round(len(events) / batched),
+        "pipeline_events_per_sec": round(len(events) / pipeline),
     }
 
 
@@ -138,6 +185,10 @@ def main(argv=None) -> int:
     current = measure()
     print(f"per-event: {current['per_event_events_per_sec']:,} ev/s")
     print(f"batched (batch={BATCH_SIZE}): {current['batched_events_per_sec']:,} ev/s")
+    print(
+        f"pipeline ({PIPELINE_WORKERS} workers): "
+        f"{current['pipeline_events_per_sec']:,} ev/s"
+    )
 
     if args.update:
         payload = dict(current)
@@ -149,7 +200,11 @@ def main(argv=None) -> int:
 
     baseline = json.loads(BASELINE_PATH.read_text())
     failures = []
-    for key in ("per_event_events_per_sec", "batched_events_per_sec"):
+    for key in (
+        "per_event_events_per_sec",
+        "batched_events_per_sec",
+        "pipeline_events_per_sec",
+    ):
         floor = baseline[key] * (1.0 - TOLERANCE)
         status = "ok" if current[key] >= floor else "REGRESSION"
         print(

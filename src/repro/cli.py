@@ -10,6 +10,14 @@ without writing Python:
 * ``repro score`` — evaluate a labels file against a graph and/or truth
   labels (modularity, conductance, NMI, ARI, F1).
 
+``repro cluster`` scales across cores with ``--parallel``: ``inline``
+shards the stream in-process (a scalability baseline), ``pool`` forks a
+transient batch worker pool per run, and ``pipeline`` streams event
+frames through persistent worker processes so parsing, routing, and
+per-shard clustering overlap (see ``docs/performance.md``). All modes
+produce the same partition as the sequential sharded clusterer for the
+same seed and ``--workers`` count.
+
 ``repro cluster`` can run as a crash-safe long-lived job: with
 ``--checkpoint`` the full clusterer state is persisted atomically every
 ``--checkpoint-every`` events, and ``--resume`` restarts from the last
@@ -76,6 +84,13 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -116,6 +131,16 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="ingest events in batches of N through the fast "
                               "path (0: per-event; default: 1024)")
+    cluster.add_argument("--parallel", choices=("inline", "pool", "pipeline"),
+                         help="shard the stream across --workers shards: "
+                              "'inline' runs every shard sequentially in one "
+                              "process, 'pool' forks a transient batch worker "
+                              "pool (finite streams; no checkpointing), "
+                              "'pipeline' streams through persistent worker "
+                              "processes (overlaps parsing, routing, and "
+                              "clustering; checkpointable mid-stream)")
+    cluster.add_argument("--workers", type=_positive_int, default=4, metavar="N",
+                         help="shard/worker count for --parallel (default: 4)")
     cluster.add_argument("--out", help="labels output path (default: stdout)")
     cluster.add_argument("--min-size", type=int, default=1,
                          help="fold clusters smaller than this into one bucket")
@@ -250,6 +275,8 @@ def _resume_config_mismatches(restored, requested) -> List[str]:
 
 
 def _run_cluster(args: argparse.Namespace) -> int:
+    from repro.core import PipelineClusterer, ShardedClusterer
+    from repro.errors import CheckpointError
     from repro.persist import PeriodicCheckpointer
     from repro.streams import (
         insert_only_stream,
@@ -284,7 +311,8 @@ def _run_cluster(args: argparse.Namespace) -> int:
     if args.events:
         if batch_size:
             stream = read_event_stream_raw(
-                args.input, strict=strict_io, errors=io_errors
+                args.input, strict=strict_io, errors=io_errors,
+                intern=args.parallel == "pipeline",
             )
         else:
             stream = read_event_stream(args.input, strict=strict_io, errors=io_errors)
@@ -295,23 +323,40 @@ def _run_cluster(args: argparse.Namespace) -> int:
         else:
             stream = insert_only_stream(edges, seed=args.seed)
 
+    if args.parallel == "pool" and args.checkpoint:
+        raise CheckpointError(
+            "--parallel pool cannot checkpoint: pool workers are transient "
+            "and hold no resumable state (use --parallel pipeline, or drop "
+            "--checkpoint)"
+        )
+
     checkpointer: Optional[PeriodicCheckpointer] = None
     if args.checkpoint and args.resume and os.path.exists(args.checkpoint):
         checkpointer = PeriodicCheckpointer.resume(
             args.checkpoint, every=args.checkpoint_every
         )
         clusterer = checkpointer.clusterer
-        if not isinstance(clusterer, StreamingGraphClusterer):
-            from repro.errors import CheckpointError
-
+        if args.parallel in ("inline", "pipeline"):
+            if not isinstance(clusterer, ShardedClusterer):
+                raise CheckpointError(
+                    f"{args.checkpoint} holds a {type(clusterer).__name__} "
+                    f"checkpoint; --parallel {args.parallel} resumes sharded "
+                    "checkpoints only (drop --parallel to resume it)"
+                )
+            if clusterer.num_shards != args.workers:
+                raise CheckpointError(
+                    f"{args.checkpoint}: --workers: checkpoint has "
+                    f"{clusterer.num_shards} shards, requested {args.workers} "
+                    "(shard count is part of the partitioned state)"
+                )
+        elif not isinstance(clusterer, StreamingGraphClusterer):
             raise CheckpointError(
                 f"{args.checkpoint} holds a {type(clusterer).__name__} "
-                "checkpoint; `repro cluster` resumes single clusterers only"
+                "checkpoint; resume it with --parallel inline or "
+                "--parallel pipeline"
             )
         mismatches = _resume_config_mismatches(clusterer.config, config)
         if mismatches:
-            from repro.errors import CheckpointError
-
             raise CheckpointError(
                 f"{args.checkpoint}: cannot --resume with flags that "
                 "conflict with the checkpointed configuration: "
@@ -319,14 +364,30 @@ def _run_cluster(args: argparse.Namespace) -> int:
                 + " (re-run with matching flags, or delete the checkpoint "
                 "to start fresh)"
             )
+        if args.parallel == "pipeline":
+            # Re-home the restored shards onto persistent workers; the
+            # checkpointer keeps saving the (format-identical) state.
+            clusterer = PipelineClusterer.from_state(
+                clusterer.get_state(), batch_events=batch_size or 1024
+            )
+            checkpointer.clusterer = clusterer
         stream = checkpointer.remaining(stream)
         print(
             f"resumed from {args.checkpoint} at event {checkpointer.position}",
             file=sys.stderr,
         )
     else:
-        clusterer = StreamingGraphClusterer(config)
-        if args.checkpoint:
+        if args.parallel == "inline":
+            clusterer = ShardedClusterer(config, num_shards=args.workers)
+        elif args.parallel == "pipeline":
+            clusterer = PipelineClusterer(
+                config, args.workers, batch_events=batch_size or 1024
+            )
+        elif args.parallel == "pool":
+            clusterer = None  # the batch driver builds its own shards
+        else:
+            clusterer = StreamingGraphClusterer(config)
+        if args.checkpoint and clusterer is not None:
             checkpointer = PeriodicCheckpointer(
                 clusterer, args.checkpoint, every=args.checkpoint_every
             )
@@ -342,35 +403,74 @@ def _run_cluster(args: argparse.Namespace) -> int:
         from repro.obs import ProgressReporter
 
         reporter = ProgressReporter(
-            args.progress_every, clusterer, checkpointer=checkpointer
+            args.progress_every,
+            clusterer if clusterer is not None else object(),
+            checkpointer=checkpointer,
         )
         stream = reporter.wrap(stream)
 
-    if checkpointer is not None:
-        checkpointer.process(stream, batch_size=batch_size)
-        checkpointer.save()
-    else:
-        clusterer.process(stream, batch_size=batch_size)
-    if io_errors:
-        print(f"skipped {len(io_errors)} malformed input lines", file=sys.stderr)
-    snapshot = clusterer.snapshot()
-    if args.min_size > 1:
-        snapshot = snapshot.merged_small_clusters(min_size=args.min_size)
-    _write_labels(snapshot, args.out)
-    stats = clusterer.stats
-    print(
-        f"processed {stats.events} events: {snapshot.num_clusters} clusters, "
-        f"largest {snapshot.max_cluster_size}, reservoir "
-        f"{clusterer.reservoir_size}/{clusterer.config.reservoir_capacity}, "
-        f"{stats.vetoes} constraint vetoes",
-        file=sys.stderr,
-    )
-    if args.metrics_out:
-        from repro import obs
+    try:
+        if args.parallel == "pool":
+            from repro.core import cluster_stream_parallel
 
-        clusterer.sync_metrics()
-        obs.default_registry().write_json(args.metrics_out)
-        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+            events = list(stream)
+            try:
+                snapshot, results = cluster_stream_parallel(
+                    events, config, num_shards=args.workers
+                )
+            except ValueError as error:
+                raise StreamError(str(error)) from None
+            summary = (
+                f"processed {len(events)} events across {args.workers} pool "
+                f"shards: {{clusters}} clusters, largest {{largest}}, "
+                f"reservoir {sum(len(r.sampled_edges) for r in results)}"
+                f"/{config.reservoir_capacity}"
+            )
+        else:
+            if checkpointer is not None:
+                checkpointer.process(stream, batch_size=batch_size)
+                checkpointer.save()
+            else:
+                clusterer.process(stream, batch_size=batch_size)
+            snapshot = clusterer.snapshot()
+            if isinstance(clusterer, StreamingGraphClusterer):
+                stats = clusterer.stats
+                summary = (
+                    f"processed {stats.events} events: {{clusters}} clusters, "
+                    f"largest {{largest}}, reservoir "
+                    f"{clusterer.reservoir_size}"
+                    f"/{clusterer.config.reservoir_capacity}, "
+                    f"{stats.vetoes} constraint vetoes"
+                )
+            else:
+                summary = (
+                    f"processed {sum(clusterer.shard_events)} events across "
+                    f"{clusterer.num_shards} shards: {{clusters}} clusters, "
+                    f"largest {{largest}}, reservoir "
+                    f"{clusterer.total_reservoir_size}"
+                    f"/{clusterer.config.reservoir_capacity}"
+                )
+        if io_errors:
+            print(f"skipped {len(io_errors)} malformed input lines", file=sys.stderr)
+        if args.min_size > 1:
+            snapshot = snapshot.merged_small_clusters(min_size=args.min_size)
+        _write_labels(snapshot, args.out)
+        print(
+            summary.format(
+                clusters=snapshot.num_clusters, largest=snapshot.max_cluster_size
+            ),
+            file=sys.stderr,
+        )
+        if args.metrics_out:
+            from repro import obs
+
+            if clusterer is not None:
+                clusterer.sync_metrics()
+            obs.default_registry().write_json(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    finally:
+        if isinstance(clusterer, PipelineClusterer):
+            clusterer.close()
     return 0
 
 

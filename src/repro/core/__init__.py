@@ -6,8 +6,9 @@ Public entry points:
   vertex/edge additions and deletions.
 * :class:`ClustererConfig` / :class:`DeletionPolicy` — configuration.
 * :mod:`repro.core.constraints` — cluster-shape admission policies.
-* :class:`ShardedClusterer` / :func:`cluster_stream_parallel` — the
-  parallelization story.
+* :class:`ShardedClusterer` / :class:`PipelineClusterer` /
+  :func:`cluster_stream_parallel` — the parallelization story (in
+  process, persistent worker pool, batch driver).
 * :class:`SlidingWindowClusterer` — recency-windowed deployment mode.
 """
 
@@ -20,11 +21,13 @@ from repro.core.constraints import (
     MinClusterCount,
     Unconstrained,
 )
+from repro.core.pipeline import PipelineClusterer
 from repro.core.sharded import (
     ShardedClusterer,
     ShardResult,
     SupervisorConfig,
     cluster_stream_parallel,
+    merge_shard_samples,
 )
 from repro.core.tracking import (
     ClusterEvent,
@@ -49,6 +52,7 @@ __all__ = [
     "MaxClusterSize",
     "MinClusterCount",
     "MultiResolutionClusterer",
+    "PipelineClusterer",
     "ShardResult",
     "TrackingReport",
     "ShardedClusterer",
@@ -59,4 +63,5 @@ __all__ = [
     "Unconstrained",
     "WeightedStreamingClusterer",
     "cluster_stream_parallel",
+    "merge_shard_samples",
 ]

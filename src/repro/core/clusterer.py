@@ -147,6 +147,12 @@ class StreamingGraphClusterer:
         #: batch fell back to the offline divide-and-conquer resolver.
         self.probe_budget_hits = 0
         self.offline_resolves = 0
+        #: Monotone counter of structural invalidations (sampled edge
+        #: set or vertex universe changed since the last extraction
+        #: cache build). Ensemble drivers compare version vectors to
+        #: skip merged-partition rebuilds when no shard moved; like the
+        #: probe counters it is not part of the persisted state.
+        self.structure_version = 0
         # Last counter values published to the metrics registry, so
         # sync_metrics() emits exact deltas (see repro.obs).
         self._metrics_last: Dict[str, int] = {}
@@ -437,8 +443,7 @@ class StreamingGraphClusterer:
                 # have dirtied the lazy backend's cache.
                 self._conn.mark_dirty()
             if structural:
-                self._labels_cache = None
-                self._partition_cache = None
+                self._invalidate()
             if _obs._ENABLED:
                 self.sync_metrics()
         return barrier
@@ -586,6 +591,7 @@ class StreamingGraphClusterer:
     def _invalidate(self) -> None:
         self._labels_cache = None
         self._partition_cache = None
+        self.structure_version += 1
 
     # ------------------------------------------------------------------
     # Event handlers

@@ -48,9 +48,25 @@ __all__ = [
     "ShardResult",
     "SupervisorConfig",
     "cluster_stream_parallel",
+    "merge_shard_samples",
 ]
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mp_context():
+    """The multiprocessing context for every worker this package spawns.
+
+    Pinned to ``spawn`` rather than the platform default: ``fork`` (the
+    Linux default) would duplicate the parent's RNG state, lazy caches,
+    and open descriptors into workers, so the same program could behave
+    differently on Linux and macOS/Windows (where ``spawn`` already is
+    the default). A fresh interpreter per worker keeps worker behaviour
+    a function of its explicit arguments alone.
+    """
+    import multiprocessing
+
+    return multiprocessing.get_context("spawn")
 
 
 def _stable_vertex_key(v: Vertex) -> int:
@@ -70,6 +86,19 @@ def _stable_vertex_key(v: Vertex) -> int:
     return key
 
 
+def _combine_keys(key_u: int, key_v: int, num_shards: int) -> int:
+    """Mix two endpoint keys into a shard index (splitmix64 finalizer).
+
+    Split out of :func:`_shard_of` so the pipeline producer can route
+    from *cached* vertex keys without recomputing them per event; both
+    callers must agree bit-for-bit for the equivalence property to hold.
+    """
+    x = (key_u * 0x9E3779B97F4A7C15 + key_v * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) % num_shards
+
+
 def _shard_of(edge: Edge, num_shards: int) -> int:
     """Deterministic shard routing for an edge.
 
@@ -80,13 +109,9 @@ def _shard_of(edge: Edge, num_shards: int) -> int:
     ``PYTHONHASHSEED`` for *all* vertex types.
     """
     u, v = edge
-    x = (
-        _stable_vertex_key(u) * 0x9E3779B97F4A7C15
-        + _stable_vertex_key(v) * 0xBF58476D1CE4E5B9
-    ) & _MASK64
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
-    return (x ^ (x >> 31)) % num_shards
+    return _combine_keys(
+        _stable_vertex_key(u), _stable_vertex_key(v), num_shards
+    )
 
 
 def _shard_config(config: ClustererConfig, shard: int, num_shards: int) -> ClustererConfig:
@@ -123,6 +148,35 @@ class _UnionFindConstraintView:
         return self._union.num_sets
 
 
+def merge_shard_samples(
+    constraint, parts: Iterable[Tuple[Iterable[Vertex], Iterable[Edge]]]
+) -> Partition:
+    """Merge shard samples into the declared global clustering.
+
+    ``parts`` is ``(vertices, sampled_edges)`` per shard, *in shard
+    order* — the declared clusters are the connected components of the
+    union of the sampled sub-graphs. The admission ``constraint`` is
+    re-enforced at merge time: each shard bounded only its local sample,
+    and the union of innocent shard-local clusters can violate the
+    global bound. All vertices are registered before any union so the
+    constraint evaluates every candidate merge against the full vertex
+    universe, exactly as :class:`ShardedClusterer` always did; the
+    multiprocess drivers share this function so the three execution
+    modes cannot drift apart.
+    """
+    union = UnionFind()
+    view = _UnionFindConstraintView(union)
+    parts = list(parts)
+    for vertices, _ in parts:
+        for vertex in vertices:
+            union.add(vertex)
+    for _, edges in parts:
+        for u, v in edges:
+            if constraint.allows(view, u, v):
+                union.union(u, v)
+    return Partition.from_clusters(union.groups())
+
+
 class ShardedClusterer:
     """Hash-partitioned ensemble of streaming clusterers.
 
@@ -141,13 +195,19 @@ class ShardedClusterer:
         ]
         self.shard_events: List[int] = [0] * num_shards
         self._merged: Optional[Partition] = None
+        # Shard structure_version vector at the time `_merged` was
+        # built; a rebuild happens only when some shard's version moved
+        # (mirrors the single clusterer's extraction cache).
+        self._merged_versions: Optional[List[int]] = None
+        #: Probe counter: merged partitions actually (re)built (not
+        #: persisted; the cache-effectiveness regression test counts it).
+        self.merge_builds = 0
 
     # ------------------------------------------------------------------
     # Stream consumption
     # ------------------------------------------------------------------
     def apply(self, event: EdgeEvent) -> None:
         """Route one event to its shard (vertex events go everywhere)."""
-        self._merged = None
         if event.is_edge_event:
             shard = _shard_of(event.edge, self.num_shards)
             self.shard_events[shard] += 1
@@ -177,7 +237,6 @@ class ShardedClusterer:
         at a time. Vertex events are barriers: buckets flush, then the
         event is broadcast exactly as in :meth:`apply`.
         """
-        self._merged = None
         buckets: List[List[AnyEvent]] = [[] for _ in range(self.num_shards)]
 
         def flush() -> None:
@@ -259,28 +318,26 @@ class ShardedClusterer:
         ]
         sharded.shard_events = list(state["shard_events"])
         sharded._merged = None
+        sharded._merged_versions = None
         return sharded
 
     # ------------------------------------------------------------------
     # Merged clustering
     # ------------------------------------------------------------------
     def _merge(self) -> Partition:
-        if self._merged is not None:
+        # Dirty-flag cache over the shards' structure_version counters:
+        # queries between updates (or after no-op events, e.g. rejected
+        # duplicates) reuse the built partition instead of re-running
+        # the union-find over every sampled edge.
+        versions = [shard.structure_version for shard in self.shards]
+        if self._merged is not None and versions == self._merged_versions:
             return self._merged
-        union = UnionFind()
-        view = _UnionFindConstraintView(union)
-        constraint = self.config.constraint
-        for clusterer in self.shards:
-            for vertex in clusterer.vertices():
-                union.add(vertex)
-        # The admission constraint is re-enforced at merge time: each
-        # shard bounded only its *local* sample, and the union of
-        # innocent shard-local clusters can violate the global bound.
-        for clusterer in self.shards:
-            for u, v in clusterer.reservoir_edges():
-                if constraint.allows(view, u, v):
-                    union.union(u, v)
-        self._merged = Partition.from_clusters(union.groups())
+        self._merged = merge_shard_samples(
+            self.config.constraint,
+            ((shard.vertices(), shard.reservoir_edges()) for shard in self.shards),
+        )
+        self._merged_versions = versions
+        self.merge_builds += 1
         return self._merged
 
     def snapshot(self) -> Partition:
@@ -527,9 +584,7 @@ def _run_supervised_pool(
     exit-without-result) are rescheduled with backoff until the attempt
     budget is spent, at which point the shard gets a tombstone result.
     """
-    import multiprocessing
-
-    ctx = multiprocessing.get_context()
+    ctx = _mp_context()
     queue = ctx.Queue()
     monotonic = time.monotonic
 
@@ -697,7 +752,7 @@ def cluster_stream_parallel(
             import multiprocessing
 
             processes = pool_processes or min(num_shards, multiprocessing.cpu_count())
-            with multiprocessing.Pool(processes=processes) as pool:
+            with _mp_context().Pool(processes=processes) as pool:
                 results = pool.map(_process_shard, tasks)
     elif inline:
         results = _run_supervised_inline(tasks, supervisor, fault)
@@ -707,14 +762,12 @@ def cluster_stream_parallel(
         processes = pool_processes or min(num_shards, multiprocessing.cpu_count())
         results = _run_supervised_pool(tasks, supervisor, fault, processes)
 
-    union = UnionFind()
-    view = _UnionFindConstraintView(union)
-    live = [result for result in results if not result.failed]
-    for result in live:
-        for vertex in result.vertices:
-            union.add(vertex)
-    for result in live:
-        for u, v in result.sampled_edges:
-            if config.constraint.allows(view, u, v):
-                union.union(u, v)
-    return Partition.from_clusters(union.groups()), results
+    merged = merge_shard_samples(
+        config.constraint,
+        (
+            (result.vertices, result.sampled_edges)
+            for result in results
+            if not result.failed
+        ),
+    )
+    return merged, results

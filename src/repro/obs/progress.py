@@ -49,7 +49,11 @@ class ProgressReporter:
         count. Works with :class:`~repro.core.clusterer.StreamingGraphClusterer`
         and anything exposing ``reservoir_size``/``config``/``num_clusters``
         (missing attributes degrade to omitted fields, so sharded
-        drivers report what they can).
+        drivers report what they can). A clusterer may instead expose
+        ``progress_snapshot() -> dict`` to publish only the fields that
+        are cheap to read — the reporter then never touches attributes
+        that would act as cross-process barriers (used by
+        :class:`~repro.core.pipeline.PipelineClusterer`).
     checkpointer:
         Optional :class:`~repro.persist.checkpoint.PeriodicCheckpointer`;
         when given, the report includes the checkpoint lag (events
@@ -101,12 +105,23 @@ class ProgressReporter:
         self._last_time = now
         self._last_events = self.events
         parts = [f"progress: {self.events:,} events ({format_rate(rate)} ev/s)"]
-        fill = self._reservoir_part()
-        if fill:
-            parts.append(fill)
-        clusters = getattr(self.clusterer, "num_clusters", None)
-        if clusters is not None:
-            parts.append(f"clusters {clusters}")
+        hook = getattr(self.clusterer, "progress_snapshot", None)
+        if hook is not None:
+            # Clusterers whose queries are expensive barriers (e.g. the
+            # multiprocess pipeline) expose the cheap subset explicitly;
+            # a report line must never stall ingestion behind a merge.
+            fields = hook()
+            if "reservoir" in fields:
+                parts.append(f"reservoir {fields['reservoir']}")
+            if "clusters" in fields:
+                parts.append(f"clusters {fields['clusters']}")
+        else:
+            fill = self._reservoir_part()
+            if fill:
+                parts.append(fill)
+            clusters = getattr(self.clusterer, "num_clusters", None)
+            if clusters is not None:
+                parts.append(f"clusters {clusters}")
         lag = self._checkpoint_lag()
         if lag is not None:
             parts.append(f"ckpt lag {lag}")

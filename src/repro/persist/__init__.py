@@ -6,14 +6,20 @@ clusterer a restartable long-lived service:
 * :mod:`repro.persist.format` — the on-disk container: magic, format
   version, payload length, CRC32, atomic write-rename.
 * :mod:`repro.persist.checkpoint` — :func:`save_checkpoint` /
-  :func:`load_checkpoint` for both :class:`StreamingGraphClusterer` and
-  :class:`ShardedClusterer`, plus :class:`PeriodicCheckpointer`.
+  :func:`load_checkpoint` for :class:`StreamingGraphClusterer`,
+  :class:`ShardedClusterer`, and :class:`PipelineClusterer` (pipeline
+  checkpoints are format-identical to sharded ones), plus
+  :class:`PeriodicCheckpointer`.
+* :mod:`repro.persist.canonical` — value-canonical payload trees, so
+  checkpoint bytes are a function of state value, not of which process
+  boundaries the state crossed.
 
 Recovery contract: restore + replay-tail is bit-identical to an
 uninterrupted run (same seed) — partition, statistics, and reservoir.
 See ``docs/robustness.md`` for format details and operational guidance.
 """
 
+from repro.persist.canonical import canonicalize
 from repro.persist.checkpoint import (
     STATE_VERSION,
     Checkpoint,
@@ -34,6 +40,7 @@ __all__ = [
     "MAGIC",
     "PeriodicCheckpointer",
     "STATE_VERSION",
+    "canonicalize",
     "load_checkpoint",
     "read_container",
     "save_checkpoint",

@@ -1,0 +1,85 @@
+"""Value-canonical payload trees for byte-stable pickling.
+
+``pickle`` memoizes by object *identity*: the first occurrence of an
+object is encoded in full, later occurrences as a back-reference. Two
+payloads that are equal value-by-value therefore serialize to different
+bytes whenever their internal sharing differs — e.g. a vertex id that
+two shards of a sequential :class:`~repro.core.sharded.ShardedClusterer`
+hold as one shared ``str`` object arrives as two *distinct* (equal)
+objects when the shard states were pickled back from separate worker
+processes.
+
+:func:`canonicalize` rebuilds a payload tree bottom-up so that equal
+immutable leaves (and tuples of them) are represented by a single
+object. After canonicalization, the pickle byte stream is a pure
+function of the payload's *value*, regardless of which process
+boundaries the parts crossed — the property the pipeline's
+"checkpoint bytes identical to sequential execution" guarantee rests
+on (see ``tests/test_pipeline.py``).
+
+Scope: ``dict``/``list``/``tuple`` containers are rebuilt; ``int``,
+``str``, ``bytes``, ``float``, and all-internable tuples are interned
+by ``(type, value)`` (floats by ``repr``, so ``-0.0``, ``0.0`` and
+``nan`` stay distinct); ``bool``/``None`` are interpreter singletons
+already. Any other object (enums, configs, frozen dataclasses) passes
+through untouched — shared or not, those are constructed once per
+logical entity by both execution modes, so their identity structure
+already matches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["canonicalize"]
+
+_TUPLE_SENTINEL = object()
+
+
+def canonicalize(payload: Any) -> Any:
+    """Return ``payload`` rebuilt with equal immutable values shared.
+
+    The result is equal to the input (``==`` on every node); container
+    iteration order is preserved (dicts stay insertion-ordered — the
+    checkpoint format relies on that for byte-stable round-trips).
+    """
+    interned: Dict[tuple, Any] = {}
+
+    def walk(node: Any) -> Tuple[Any, Optional[tuple]]:
+        """Canonical node plus its intern key (None = not internable)."""
+        cls = node.__class__
+        if cls is bool or node is None:
+            # Interpreter singletons: already canonical, but keyed so a
+            # tuple containing them can still be interned ("o" cannot
+            # collide with "i" keys, so True != 1 here).
+            return node, ("o", node)
+        if cls is int:
+            key = ("i", node)
+        elif cls is str:
+            key = ("s", node)
+        elif cls is bytes:
+            key = ("b", node)
+        elif cls is float:
+            key = ("f", repr(node))
+            node = interned.setdefault(key, node)
+            return node, key
+        elif cls is tuple:
+            pairs = [walk(item) for item in node]
+            items = tuple(pair[0] for pair in pairs)
+            keys = tuple(
+                pair[1] if pair[1] is not None else _TUPLE_SENTINEL
+                for pair in pairs
+            )
+            if _TUPLE_SENTINEL in keys:
+                return items, None  # holds a non-internable member
+            key = ("t",) + keys
+            return interned.setdefault(key, items), key
+        elif cls is dict:
+            return {walk(k)[0]: walk(v)[0] for k, v in node.items()}, None
+        elif cls is list:
+            return [walk(item)[0] for item in node], None
+        else:
+            return node, None  # passthrough: see module docstring
+        return interned.setdefault(key, node), key
+
+    return walk(payload)[0]

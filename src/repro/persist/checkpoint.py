@@ -26,8 +26,10 @@ from typing import Iterable, Union
 
 from repro.obs import metrics as _obs
 from repro.core.clusterer import StreamingGraphClusterer
+from repro.core.pipeline import PipelineClusterer
 from repro.core.sharded import ShardedClusterer
 from repro.errors import CheckpointError
+from repro.persist.canonical import canonicalize
 from repro.persist.format import PathLike, read_container, write_container
 from repro.streams.events import EdgeEvent
 
@@ -46,10 +48,17 @@ _KINDS = {
     "clusterer.sharded": ShardedClusterer,
 }
 
-Checkpointable = Union[StreamingGraphClusterer, ShardedClusterer]
+Checkpointable = Union[StreamingGraphClusterer, ShardedClusterer, PipelineClusterer]
 
 
 def _kind_of(clusterer: Checkpointable) -> str:
+    # A pipeline's state is format-identical to a sequential sharded
+    # clusterer's, and restoring as one keeps checkpoints portable: a
+    # file written by an N-worker pipeline loads on a machine with no
+    # multiprocessing at all (convert back explicitly with
+    # PipelineClusterer.from_state to resume pipelined).
+    if isinstance(clusterer, PipelineClusterer):
+        return "clusterer.sharded"
     for kind, cls in _KINDS.items():
         if isinstance(clusterer, cls):
             return kind
@@ -83,12 +92,23 @@ def save_checkpoint(
     ``position`` records how many stream events have been consumed so a
     resuming driver knows where the tail starts. Returns the checkpoint
     size in bytes.
+
+    Sharded-kind payloads are value-canonicalized before pickling (see
+    :mod:`repro.persist.canonical`): their states may be assembled from
+    worker-process pickles, whose object sharing differs from in-process
+    execution, and canonicalization makes the bytes a function of the
+    state's *value* — so pipeline and sequential sharded checkpoints of
+    the same logical state are identical files.
     """
+    kind = _kind_of(clusterer)
+    state = clusterer.get_state()
+    if kind == "clusterer.sharded":
+        state = canonicalize(state)
     payload = {
         "state_version": STATE_VERSION,
-        "kind": _kind_of(clusterer),
+        "kind": kind,
         "position": int(position),
-        "state": clusterer.get_state(),
+        "state": state,
     }
     return write_container(path, payload)
 

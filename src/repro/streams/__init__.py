@@ -14,6 +14,11 @@ from repro.streams.events import (
     delete_vertex,
     events_from_edges,
 )
+from repro.streams.codec import (
+    decode_batch,
+    encode_batch,
+    encode_batches,
+)
 from repro.streams.generators import (
     DriftPhase,
     PlantedPartitionGraph,
@@ -60,9 +65,12 @@ __all__ = [
     "adversarial_bridge_first",
     "canonical_edge",
     "count_kinds",
+    "decode_batch",
     "delete_edge",
     "delete_vertex",
     "drifting_sbm_stream",
+    "encode_batch",
+    "encode_batches",
     "erdos_renyi_edges",
     "events_from_edges",
     "insert_delete_stream",

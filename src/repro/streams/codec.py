@@ -1,0 +1,257 @@
+"""Compact binary codec for raw event batches.
+
+The multiprocess pipeline (:mod:`repro.core.pipeline`) ships event
+batches from the parsing/routing stage to long-lived shard workers.
+Pickling a list of per-event objects costs more than the clustering
+work itself at high throughput, so batches travel as *frames*: a small
+interned vertex table followed by the events as packed ``uint32``
+triplets — one bulk :func:`struct.pack` call per frame, no per-event
+object overhead on either side.
+
+Frame layout (all integers little-endian)::
+
+    u8   format version (1)
+    u32  vertex-table entry count T
+    T×   tagged entry:
+           0x00  s64            — int vertex in the signed 64-bit range
+           0x01  u32 len, utf-8 — string vertex
+           0x02  u32 len, ascii — int vertex outside the 64-bit range
+                                  (decimal digits)
+    u32  event count N
+    N×   u32 kind, u32 u_index, u32 v_index
+         (v_index = 0xFFFFFFFF for vertex events)
+
+Supported vertex types are ``int`` and ``str`` — exactly what the
+stream readers in :mod:`repro.streams.io` produce. Anything else (and
+``bool``, which would silently collapse into ``0``/``1``) raises
+``TypeError`` at encode time. Table lookups are by equality, so every
+*new* vertex value is type-checked as it is interned.
+
+Round-trip is exact: ``decode_batch(encode_batch(events))`` returns the
+same ``(kind, u, v)`` tuples, property-tested in
+``tests/test_codec.py``. A corrupt or truncated frame raises
+``ValueError`` from :func:`decode_batch`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.streams.events import EventKind, RawEvent
+
+__all__ = [
+    "CODEC_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "decode_batch",
+    "encode_batch",
+    "encode_batches",
+]
+
+CODEC_VERSION = 1
+
+#: Default frame-size ceiling for :func:`encode_batches`. Frames are
+#: also pipe messages, so keeping them well under the OS pipe buffer
+#: lets the producer's ``send`` return without blocking on the worker.
+DEFAULT_MAX_FRAME_BYTES = 256 * 1024
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+_NO_VERTEX = 0xFFFFFFFF
+
+# Event kinds are encoded positionally; the tuple below is the closed,
+# ordered wire enumeration (a new kind must be appended, never inserted).
+_KINDS: Tuple[EventKind, ...] = (
+    EventKind.ADD_EDGE,
+    EventKind.DELETE_EDGE,
+    EventKind.ADD_VERTEX,
+    EventKind.DELETE_VERTEX,
+)
+_KIND_CODE = {kind: code for code, kind in enumerate(_KINDS)}
+_EDGE_CODES = frozenset(
+    (_KIND_CODE[EventKind.ADD_EDGE], _KIND_CODE[EventKind.DELETE_EDGE])
+)
+
+_U32 = struct.Struct("<I")
+_S64_ENTRY = struct.Struct("<bq")
+_HEADER = struct.Struct("<BI")
+
+
+def _encode_entry(vertex) -> bytes:
+    """One tagged vertex-table entry; raises ``TypeError`` for vertex
+    types the wire format has no representation for."""
+    kind = type(vertex)
+    if kind is int:
+        if _INT64_MIN <= vertex <= _INT64_MAX:
+            return _S64_ENTRY.pack(0, vertex)
+        digits = str(vertex).encode("ascii")
+        return b"\x02" + _U32.pack(len(digits)) + digits
+    if kind is str:
+        data = vertex.encode("utf-8")
+        return b"\x01" + _U32.pack(len(data)) + data
+    raise TypeError(
+        f"codec supports int and str vertex ids, got {kind.__name__}: {vertex!r}"
+    )
+
+
+def _event_fields(event) -> Tuple[EventKind, object, object]:
+    if type(event) is tuple:
+        return event
+    return event.kind, event.u, event.v
+
+
+def encode_batch(events: Sequence) -> bytes:
+    """Encode a batch of events (raw tuples or ``EdgeEvent``) as one frame."""
+    table: dict = {}
+    entries: List[bytes] = []
+    flat: List[int] = []
+    kind_code = _KIND_CODE
+    no_vertex = _NO_VERTEX
+    for event in events:
+        kind, u, v = _event_fields(event)
+        code = kind_code.get(kind)
+        if code is None:
+            raise ValueError(f"unknown event kind {kind!r}")
+        u_index = table.get(u)
+        if u_index is None:
+            u_index = table[u] = len(entries)
+            entries.append(_encode_entry(u))
+        if v is None:
+            v_index = no_vertex
+        else:
+            v_index = table.get(v)
+            if v_index is None:
+                v_index = table[v] = len(entries)
+                entries.append(_encode_entry(v))
+        flat.append(code)
+        flat.append(u_index)
+        flat.append(v_index)
+    parts = [_HEADER.pack(CODEC_VERSION, len(entries))]
+    parts.extend(entries)
+    parts.append(_U32.pack(len(flat) // 3))
+    parts.append(struct.pack(f"<{len(flat)}I", *flat))
+    return b"".join(parts)
+
+
+def encode_batches(
+    events: Iterable, *, max_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Iterator[bytes]:
+    """Encode events into one or more frames of at most ``max_bytes``.
+
+    Splits greedily on exact size accounting (header + table entries +
+    12 bytes per event). A single event whose vertex labels alone exceed
+    ``max_bytes`` still gets its own (oversized) frame — the codec never
+    drops or truncates an event. Yields nothing for an empty input.
+    """
+    if max_bytes <= 0:
+        raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+    batch: List = []
+    # Running frame size: 5-byte header + 4-byte event count so far.
+    size = _HEADER.size + _U32.size
+    seen: set = set()
+    for event in events:
+        _, u, v = _event_fields(event)
+        added = 12  # one packed triplet
+        if u not in seen:
+            added += len(_encode_entry(u))
+        if v is not None and v not in seen and v != u:
+            added += len(_encode_entry(v))
+        if batch and size + added > max_bytes:
+            yield encode_batch(batch)
+            batch = []
+            seen = set()
+            size = _HEADER.size + _U32.size
+            added = 12 + len(_encode_entry(u))
+            if v is not None and v != u:
+                added += len(_encode_entry(v))
+        batch.append(event)
+        seen.add(u)
+        if v is not None:
+            seen.add(v)
+        size += added
+    if batch:
+        yield encode_batch(batch)
+
+
+def decode_batch(data: bytes) -> List[RawEvent]:
+    """Decode one frame back into raw ``(kind, u, v)`` event tuples.
+
+    Raises ``ValueError`` for anything structurally wrong: unknown
+    format version, truncated data, out-of-range table indexes, or an
+    edge event missing its second endpoint.
+    """
+    try:
+        version, table_count = _HEADER.unpack_from(data, 0)
+    except struct.error:
+        raise ValueError("corrupt event frame: truncated header") from None
+    if version != CODEC_VERSION:
+        raise ValueError(
+            f"corrupt event frame: unsupported codec version {version} "
+            f"(this build reads {CODEC_VERSION})"
+        )
+    offset = _HEADER.size
+    vertices: List[object] = []
+    try:
+        for _ in range(table_count):
+            tag = data[offset]
+            offset += 1
+            if tag == 0:
+                (value,) = struct.unpack_from("<q", data, offset)
+                offset += 8
+            elif tag in (1, 2):
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                raw = data[offset : offset + length]
+                if len(raw) != length:
+                    raise ValueError("corrupt event frame: truncated vertex entry")
+                offset += length
+                if tag == 1:
+                    value = raw.decode("utf-8")
+                else:
+                    try:
+                        value = int(raw)
+                    except ValueError:
+                        raise ValueError(
+                            "corrupt event frame: malformed bigint entry"
+                        ) from None
+            else:
+                raise ValueError(f"corrupt event frame: unknown vertex entry tag {tag}")
+            vertices.append(value)
+        (count,) = _U32.unpack_from(data, offset)
+        offset += 4
+        flat = struct.unpack_from(f"<{3 * count}I", data, offset)
+    except (struct.error, IndexError, UnicodeDecodeError) as error:
+        raise ValueError(f"corrupt event frame: {error}") from None
+    if offset + 12 * count != len(data):
+        raise ValueError(
+            f"corrupt event frame: {len(data) - offset - 12 * count} "
+            "trailing bytes"
+        )
+    kinds = _KINDS
+    edge_codes = _EDGE_CODES
+    no_vertex = _NO_VERTEX
+    events: List[RawEvent] = []
+    append = events.append
+    for i in range(0, 3 * count, 3):
+        code, u_index, v_index = flat[i], flat[i + 1], flat[i + 2]
+        if code >= len(kinds):
+            raise ValueError(f"corrupt event frame: unknown kind code {code}")
+        if u_index >= table_count:
+            raise ValueError(
+                f"corrupt event frame: vertex index {u_index} out of range"
+            )
+        if code in edge_codes:
+            if v_index >= table_count:
+                raise ValueError(
+                    "corrupt event frame: edge event with missing or "
+                    f"out-of-range endpoint index {v_index}"
+                )
+            append((kinds[code], vertices[u_index], vertices[v_index]))
+        else:
+            if v_index != no_vertex:
+                raise ValueError(
+                    "corrupt event frame: vertex event carries a second "
+                    "endpoint"
+                )
+            append((kinds[code], vertices[u_index], None))
+    return events

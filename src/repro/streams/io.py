@@ -221,11 +221,18 @@ _RAW_KIND = {
 }
 
 
+#: Token-cache bound for ``intern=True`` readers: caps parser memory on
+#: adversarial streams where every token is distinct (the cache restarts
+#: once this many distinct tokens have been seen).
+_INTERN_CACHE_LIMIT = 1 << 20
+
+
 def read_event_stream_raw(
     source: PathOrFile,
     *,
     strict: bool = True,
     errors: Optional[List[str]] = None,
+    intern: bool = False,
 ) -> Iterator[RawEvent]:
     """:func:`read_event_stream` yielding raw ``(kind, u, v)`` tuples.
 
@@ -236,12 +243,20 @@ def read_event_stream_raw(
     self-loop edges, which the :class:`EdgeEvent` constructor would have
     rejected and are therefore still reported here rather than deep in
     the clusterer.
+
+    ``intern=True`` caches parsed vertex tokens, so a token seen before
+    skips re-parsing and repeated occurrences share one object. Values
+    are identical either way — this only trades a bounded dict (cleared
+    after ``2**20`` distinct tokens) for parse time, which pays off on
+    real streams where each vertex id recurs many times. The pipeline
+    producer (:mod:`repro.core.pipeline`) reads with it on.
     """
     name = _source_name(source)
     handle, owned = _open_for_read(source)
     raw_kind = _RAW_KIND
     add_edge_kind = EventKind.ADD_EDGE
     delete_edge_kind = EventKind.DELETE_EDGE
+    cache: Optional[dict] = {} if intern else None
     try:
         for line_number, line in enumerate(handle, start=1):
             parts = line.split()
@@ -250,8 +265,20 @@ def read_event_stream_raw(
             kind = raw_kind.get(parts[0])
             if kind is add_edge_kind or kind is delete_edge_kind:
                 if len(parts) == 3:
-                    u = _parse_vertex(parts[1])
-                    v = _parse_vertex(parts[2])
+                    if cache is None:
+                        u = _parse_vertex(parts[1])
+                        v = _parse_vertex(parts[2])
+                    else:
+                        token = parts[1]
+                        u = cache.get(token)
+                        if u is None:
+                            u = cache[token] = _parse_vertex(token)
+                        token = parts[2]
+                        v = cache.get(token)
+                        if v is None:
+                            v = cache[token] = _parse_vertex(token)
+                        if len(cache) > _INTERN_CACHE_LIMIT:
+                            cache = {}
                     if u != v:
                         yield (kind, u, v)
                         continue
@@ -265,6 +292,7 @@ def read_event_stream_raw(
                         f"{line.strip()!r}"
                     )
             elif kind is not None and len(parts) == 2:
+                # Vertex events are rare relative to edges; not cached.
                 yield (kind, _parse_vertex(parts[1]), None)
                 continue
             else:
@@ -287,18 +315,22 @@ def read_event_batches(
     *,
     strict: bool = True,
     errors: Optional[List[str]] = None,
+    intern: bool = False,
 ) -> Iterator[List[RawEvent]]:
     """Read an event stream as batches of raw tuples.
 
     Groups :func:`read_event_stream_raw` output into lists of up to
     ``batch_size`` events, sized for ``apply_many``. The final batch may
-    be shorter; empty streams yield nothing.
+    be shorter; empty streams yield nothing. ``intern`` is forwarded to
+    the raw reader (cache parsed vertex tokens).
     """
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     batch: List[RawEvent] = []
     append = batch.append
-    for event in read_event_stream_raw(source, strict=strict, errors=errors):
+    for event in read_event_stream_raw(
+        source, strict=strict, errors=errors, intern=intern
+    ):
         append(event)
         if len(batch) == batch_size:
             yield batch

@@ -111,6 +111,133 @@ class TestCluster:
         assert len(labels_b) <= len(labels_a)
 
 
+class TestParallelModes:
+    def test_all_modes_produce_identical_labels(self, workload, tmp_path):
+        edges, _ = workload
+        outputs = {}
+        for mode in ("inline", "pipeline", "pool"):
+            out = tmp_path / f"{mode}.labels"
+            code = main([
+                "cluster", str(edges), "--capacity", "200", "--seed", "5",
+                "--parallel", mode, "--workers", "3", "--out", str(out),
+            ])
+            assert code == 0
+            outputs[mode] = out.read_text()
+        assert outputs["inline"] == outputs["pipeline"] == outputs["pool"]
+
+    def test_sharded_summary_line(self, workload, capsys):
+        edges, _ = workload
+        code = main([
+            "cluster", str(edges), "--capacity", "100",
+            "--parallel", "inline", "--workers", "2",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "across 2 shards" in err and "reservoir" in err
+
+    def test_pipeline_checkpoint_kill_and_resume(self, workload, tmp_path):
+        edges, _ = workload
+        ckpt = tmp_path / "run.ckpt"
+        reference = tmp_path / "ref.labels"
+        args = ["cluster", edges, "--capacity", "300", "--seed", "5",
+                "--parallel", "pipeline", "--workers", "3"]
+        assert run_cli(*args, "--out", reference).returncode == 0
+
+        crashed = run_cli(*args, "--checkpoint", ckpt, "--checkpoint-every",
+                          "100", "--inject-kill-after", "350")
+        assert crashed.returncode == 3
+        assert ckpt.exists()
+
+        resumed = tmp_path / "resumed.labels"
+        done = run_cli(*args, "--checkpoint", ckpt, "--resume",
+                       "--out", resumed)
+        assert done.returncode == 0
+        assert "resumed from" in done.stderr
+        assert resumed.read_text() == reference.read_text()
+
+    def test_pipeline_checkpoint_resumes_inline_and_vice_versa(
+        self, workload, tmp_path
+    ):
+        # The checkpoint format is shared: a pipeline checkpoint resumes
+        # under --parallel inline (and the labels stay identical).
+        edges, _ = workload
+        ckpt = tmp_path / "run.ckpt"
+        reference = tmp_path / "ref.labels"
+        base = ["cluster", edges, "--capacity", "300", "--seed", "5",
+                "--workers", "3"]
+        assert run_cli(*base, "--parallel", "inline",
+                       "--out", reference).returncode == 0
+        crashed = run_cli(*base, "--parallel", "pipeline", "--checkpoint",
+                          ckpt, "--checkpoint-every", "100",
+                          "--inject-kill-after", "250")
+        assert crashed.returncode == 3
+        resumed = tmp_path / "resumed.labels"
+        done = run_cli(*base, "--parallel", "inline", "--checkpoint", ckpt,
+                       "--resume", "--out", resumed)
+        assert done.returncode == 0
+        assert resumed.read_text() == reference.read_text()
+
+    def test_workers_mismatch_on_resume_refused(self, workload, tmp_path,
+                                                capsys):
+        edges, _ = workload
+        ckpt = tmp_path / "run.ckpt"
+        assert main([
+            "cluster", str(edges), "--capacity", "200", "--seed", "5",
+            "--parallel", "pipeline", "--workers", "3",
+            "--checkpoint", str(ckpt),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "cluster", str(edges), "--capacity", "200", "--seed", "5",
+            "--parallel", "pipeline", "--workers", "2",
+            "--checkpoint", str(ckpt), "--resume",
+        ])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_sharded_checkpoint_without_parallel_refused(self, workload,
+                                                         tmp_path, capsys):
+        edges, _ = workload
+        ckpt = tmp_path / "run.ckpt"
+        assert main([
+            "cluster", str(edges), "--capacity", "200", "--seed", "5",
+            "--parallel", "inline", "--workers", "2",
+            "--checkpoint", str(ckpt),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "cluster", str(edges), "--capacity", "200", "--seed", "5",
+            "--checkpoint", str(ckpt), "--resume",
+        ])
+        assert code == 2
+        assert "--parallel" in capsys.readouterr().err
+
+    def test_pool_with_checkpoint_refused(self, workload, tmp_path, capsys):
+        edges, _ = workload
+        code = main([
+            "cluster", str(edges), "--capacity", "200",
+            "--parallel", "pool", "--checkpoint", str(tmp_path / "x.ckpt"),
+        ])
+        assert code == 2
+        assert "pool" in capsys.readouterr().err
+
+    def test_pipeline_metrics_snapshot(self, workload, tmp_path, capsys):
+        import json
+
+        edges, _ = workload
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "cluster", str(edges), "--capacity", "200", "--seed", "5",
+            "--parallel", "pipeline", "--workers", "2",
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["pipeline.frames_sent"]["value"] >= 1
+        assert snapshot["clusterer.events"]["value"] > 0
+
+
 class TestScore:
     def test_full_scoring(self, workload, tmp_path, capsys):
         edges, truth = workload

@@ -124,3 +124,31 @@ class TestEventStream:
     def test_comments_skipped(self):
         buffer = io.StringIO("# stream\n+ 1 2\n")
         assert list(read_event_stream(buffer)) == [add_edge(1, 2)]
+
+
+class TestInterningReader:
+    def test_interned_stream_equals_plain(self):
+        from repro.streams import read_event_stream_raw
+
+        text = "+ a b\n+ a c\n- a b\n+v d\n+ 10 20\n"
+        plain = list(read_event_stream_raw(io.StringIO(text)))
+        interned = list(read_event_stream_raw(io.StringIO(text), intern=True))
+        assert interned == plain
+
+    def test_repeated_tokens_share_one_object(self):
+        from repro.streams import read_event_stream_raw
+
+        text = "+ hub leaf1\n+ hub leaf2\n+ hub leaf3\n"
+        events = list(read_event_stream_raw(io.StringIO(text), intern=True))
+        hubs = [event[1] for event in events]
+        assert hubs[0] is hubs[1] is hubs[2]
+
+    def test_batches_forward_intern(self):
+        from repro.streams import read_event_batches
+
+        text = "+ x y\n+ x z\n+ y z\n"
+        batches = list(
+            read_event_batches(io.StringIO(text), 2, intern=True)
+        )
+        assert [len(b) for b in batches] == [2, 1]
+        assert batches[0][0][1] is batches[0][1][1]  # "x" shared

@@ -227,6 +227,41 @@ class TestProgressReporter:
         with pytest.raises(ValueError, match="positive"):
             ProgressReporter(0, _FakeClusterer())
 
+    def test_progress_snapshot_hook_bypasses_barrier_attributes(self):
+        class BarrierClusterer:
+            """Queries are expensive barriers; only the hook is cheap."""
+
+            probed = False
+
+            @property
+            def num_clusters(self):
+                type(self).probed = True
+                return 99
+
+            total_reservoir_size = reservoir_size = property(num_clusters.fget)
+
+            def progress_snapshot(self):
+                return {"clusters": 7}
+
+        out = io.StringIO()
+        reporter = ProgressReporter(1, BarrierClusterer(), out=out)
+        list(reporter.wrap(["x"]))
+        line = out.getvalue()
+        assert "clusters 7" in line and "99" not in line
+        assert not BarrierClusterer.probed
+
+    def test_progress_snapshot_hook_may_omit_fields(self):
+        class Hooked:
+            def progress_snapshot(self):
+                return {}
+
+        out = io.StringIO()
+        reporter = ProgressReporter(1, Hooked(), out=out)
+        list(reporter.wrap(["x"]))
+        line = out.getvalue()
+        assert line.startswith("progress: 1 events")
+        assert "clusters" not in line and "reservoir" not in line
+
 
 class TestInstrumentation:
     """Enabled-mode emission from the library layers."""

@@ -251,3 +251,46 @@ class TestPeriodicCheckpointer:
     def test_negative_interval_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="every"):
             PeriodicCheckpointer(make_clusterer(), tmp_path / "ck", every=-1)
+
+
+class TestCanonicalize:
+    def test_equal_values_become_shared_objects(self):
+        from repro.persist import canonicalize
+        import pickle
+
+        a = {"x": ("v" + str(1), 2.5), "y": ("v1", 2.5)}
+        b = {"x": ("v1", 2.5), "y": ("v1", 2.5)}
+        assert pickle.dumps(a, protocol=4) != pickle.dumps(b, protocol=4)
+        ca, cb = canonicalize(a), canonicalize(b)
+        assert ca == a and cb == b
+        assert pickle.dumps(ca, protocol=4) == pickle.dumps(cb, protocol=4)
+        assert ca["x"] is ca["y"]
+
+    def test_preserves_values_and_order(self):
+        from repro.persist import canonicalize
+
+        payload = {
+            "ints": [1, 2, 3],
+            "floats": [0.0, -0.0, float("inf")],
+            "nested": ({"k": (True, None, b"raw")},),
+            "text": "naïve",
+        }
+        result = canonicalize(payload)
+        assert result == payload
+        assert list(result) == list(payload)
+        assert repr(result["floats"]) == repr(payload["floats"])
+
+    def test_true_and_one_stay_distinct(self):
+        from repro.persist import canonicalize
+
+        result = canonicalize([(True, 0), (1, False)])
+        assert result[0][0] is True and result[1][0] == 1
+        assert result[0][0] is not result[1][0] or True != 1
+
+    def test_unknown_objects_pass_through_untouched(self):
+        from repro.persist import canonicalize
+
+        config = ClustererConfig(reservoir_capacity=10)
+        result = canonicalize({"config": config, "pair": (config, "x")})
+        assert result["config"] is config
+        assert result["pair"][0] is config

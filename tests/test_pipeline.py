@@ -1,0 +1,290 @@
+"""Equivalence and fault-tolerance tests for the multiprocess pipeline.
+
+The contract under test: for *any* producer batch size, frame size and
+worker count, :class:`PipelineClusterer` ends in exactly the state a
+sequential :class:`ShardedClusterer` reaches over the same stream —
+identical merged partition, identical per-shard event counts, and
+byte-identical checkpoint files — and worker deaths mid-stream are
+absorbed by the replay log without changing any of that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ClustererConfig,
+    MaxClusterSize,
+    PipelineClusterer,
+    ShardedClusterer,
+    SupervisorConfig,
+)
+from repro.errors import CheckpointError
+from repro.persist import PeriodicCheckpointer, load_checkpoint, save_checkpoint
+from repro.streams import insert_delete_stream, planted_partition
+from repro.streams.events import EventKind
+from repro.util.faults import CrashShard
+
+CONFIG = ClustererConfig(
+    reservoir_capacity=60, seed=9, strict=False, constraint=MaxClusterSize(40)
+)
+FAST = SupervisorConfig(timeout=20.0, max_attempts=3, backoff=0.01)
+
+
+@pytest.fixture(scope="module")
+def events():
+    graph = planted_partition(90, 3, p_in=0.3, p_out=0.02, seed=21)
+    stream = list(insert_delete_stream(graph.edges, churn=0.3, seed=21))
+    # Vertex events exercise the broadcast-barrier path.
+    stream.insert(40, (EventKind.ADD_VERTEX, 9999, None))
+    stream.append((EventKind.DELETE_VERTEX, 9999, None))
+    return stream
+
+
+@pytest.fixture(scope="module")
+def sequential(events):
+    """Sequential sharded reference results, one per worker count."""
+    cache = {}
+
+    def build(workers: int) -> ShardedClusterer:
+        if workers not in cache:
+            cache[workers] = ShardedClusterer(CONFIG, num_shards=workers).process(
+                list(events), batch_size=64
+            )
+        return cache[workers]
+
+    return build
+
+
+def make_pipeline(workers, **kwargs) -> PipelineClusterer:
+    kwargs.setdefault("supervisor", FAST)
+    return PipelineClusterer(CONFIG, workers, **kwargs)
+
+
+def test_inlined_routing_matches(events):
+    """The producer inlines ``_shard_of`` (key cache + splitmix64); its
+    per-shard event counts must match the shared routing definition."""
+    from repro.core.sharded import _shard_of
+    from repro.streams.events import canonical_edge
+
+    with make_pipeline(3, batch_events=64) as pipe:
+        pipe.apply_many(list(events))
+        expected = [0, 0, 0]
+        for event in events:
+            kind = event[0] if type(event) is tuple else event.kind
+            if kind in (EventKind.ADD_EDGE, EventKind.DELETE_EDGE):
+                u, v = (
+                    (event[1], event[2])
+                    if type(event) is tuple
+                    else (event.u, event.v)
+                )
+                expected[_shard_of(canonical_edge(u, v), 3)] += 1
+            else:
+                for shard in range(3):
+                    expected[shard] += 1
+        assert pipe.shard_events == expected
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "workers,batch_events,max_frame_bytes",
+        [
+            (1, 7, 256 * 1024),
+            (2, 1, 256 * 1024),
+            (3, 64, 256 * 1024),
+            (3, 1000, 128),  # tiny frames force codec splits
+        ],
+    )
+    def test_matches_sequential_sharded(
+        self, tmp_path, events, sequential, workers, batch_events, max_frame_bytes
+    ):
+        reference = sequential(workers)
+        with make_pipeline(
+            workers, batch_events=batch_events, max_frame_bytes=max_frame_bytes
+        ) as pipe:
+            pipe.process(list(events))
+            assert pipe.snapshot() == reference.snapshot()
+            assert pipe.shard_events == reference.shard_events
+            seq_path = tmp_path / "seq.rpk"
+            pipe_path = tmp_path / "pipe.rpk"
+            save_checkpoint(reference, seq_path, position=len(events))
+            save_checkpoint(pipe, pipe_path, position=len(events))
+        assert seq_path.read_bytes() == pipe_path.read_bytes()
+
+    def test_pipeline_checkpoint_restores_as_sharded(
+        self, tmp_path, events, sequential
+    ):
+        path = tmp_path / "pipe.rpk"
+        with make_pipeline(3, batch_events=32) as pipe:
+            pipe.process(list(events))
+            save_checkpoint(pipe, path, position=len(events))
+        restored = load_checkpoint(path)
+        assert restored.kind == "clusterer.sharded"
+        assert isinstance(restored.clusterer, ShardedClusterer)
+        assert restored.clusterer.snapshot() == sequential(3).snapshot()
+
+    def test_query_surface_matches_sharded(self, events, sequential):
+        reference = sequential(2)
+        with make_pipeline(2, batch_events=16) as pipe:
+            pipe.process(list(events))
+            merged = reference.snapshot()
+            some = next(iter(merged.vertices()))
+            assert pipe.cluster_members(some) == reference.cluster_members(some)
+            assert pipe.num_clusters == reference.num_clusters
+            assert pipe.total_reservoir_size == reference.total_reservoir_size
+            assert pipe.shard_balance == reference.shard_balance
+            for u, v in list(reference.shards[0].reservoir_edges())[:5]:
+                assert pipe.same_cluster(u, v)
+
+
+class TestMidStreamCheckpoint:
+    def test_periodic_checkpointer_resume_replay_identical(
+        self, tmp_path, events, sequential
+    ):
+        path = tmp_path / "mid.rpk"
+        cut = len(events) // 2
+        with make_pipeline(3, batch_events=17) as pipe:
+            checkpointer = PeriodicCheckpointer(pipe, path, every=50)
+            checkpointer.process(events[:cut], batch_size=17)
+        # Crash: the run above stops mid-stream. Resume from the last
+        # durable save and replay the tail pipelined.
+        restored = load_checkpoint(path)
+        assert restored.position == cut - cut % 50
+        with PipelineClusterer.from_state(
+            restored.clusterer.get_state(), batch_events=17, supervisor=FAST
+        ) as resumed:
+            resumed.process(events[restored.position :])
+            assert resumed.snapshot() == sequential(3).snapshot()
+            final = tmp_path / "final.rpk"
+            save_checkpoint(resumed, final, position=len(events))
+        reference = tmp_path / "ref.rpk"
+        save_checkpoint(sequential(3), reference, position=len(events))
+        assert final.read_bytes() == reference.read_bytes()
+
+    def test_from_state_roundtrip_mid_stream(self, events, sequential):
+        cut = len(events) // 3
+        state = None
+        with make_pipeline(3, batch_events=8) as pipe:
+            pipe.process(events[:cut])
+            state = pipe.get_state()
+        with PipelineClusterer.from_state(
+            state, batch_events=64, supervisor=FAST
+        ) as resumed:
+            resumed.process(events[cut:])
+            assert resumed.snapshot() == sequential(3).snapshot()
+            assert resumed.shard_events == sequential(3).shard_events
+
+    def test_from_state_shard_count_mismatch_rejected(self, events):
+        with make_pipeline(2) as pipe:
+            pipe.process(events[:50])
+            state = pipe.get_state()
+        state["num_shards"] = 3
+        with pytest.raises(ValueError, match="shard states"):
+            PipelineClusterer.from_state(state)
+
+
+class TestFaultTolerance:
+    def test_startup_crash_is_retried_and_result_unaffected(
+        self, events, sequential
+    ):
+        with make_pipeline(
+            3, batch_events=32, fault=CrashShard(shard=1, fail_attempts=1)
+        ) as pipe:
+            pipe.process(list(events))
+            assert pipe.snapshot() == sequential(3).snapshot()
+            assert pipe.shard_attempts[1] == 2
+            assert pipe.shard_attempts[0] == 1 and pipe.shard_attempts[2] == 1
+            assert pipe.worker_restarts >= 1
+
+    def test_worker_death_mid_stream_is_replayed(self, events, sequential):
+        cut = len(events) // 2
+        with make_pipeline(3, batch_events=16) as pipe:
+            pipe.process(events[:cut])
+            # Kill one worker the hard way; the next send or control
+            # round-trip must revive it and replay the frame log.
+            victim = pipe._procs[1]
+            victim.terminate()
+            victim.join()
+            pipe.process(events[cut:])
+            assert pipe.snapshot() == sequential(3).snapshot()
+            assert pipe.shard_attempts[1] == 2
+            assert not any(pipe._failed)
+
+    def test_death_after_checkpoint_replays_only_the_tail(
+        self, tmp_path, events, sequential
+    ):
+        cut = len(events) // 2
+        with make_pipeline(3, batch_events=16) as pipe:
+            pipe.process(events[:cut])
+            save_checkpoint(pipe, tmp_path / "base.rpk", position=cut)
+            # The checkpoint fetch rebased every shard's recovery log.
+            assert all(not log for log in pipe._log)
+            victim = pipe._procs[0]
+            victim.terminate()
+            victim.join()
+            pipe.process(events[cut:])
+            assert pipe.snapshot() == sequential(3).snapshot()
+
+    def test_permanent_failure_degrades_gracefully(self, events, sequential):
+        with pytest.warns(RuntimeWarning, match="shard 1 failed permanently"):
+            with make_pipeline(
+                3,
+                batch_events=32,
+                fault=CrashShard(shard=1, fail_attempts=99),
+                supervisor=SupervisorConfig(
+                    timeout=20.0, max_attempts=2, backoff=0.01
+                ),
+            ) as pipe:
+                pipe.process(list(events))
+                partition = pipe.snapshot()
+                assert pipe._failed[1] and pipe.shard_attempts[1] == 2
+                assert pipe.dropped_events > 0
+                # Losing a shard's sample can only remove merges.
+                assert (
+                    partition.num_clusters > sequential(3).snapshot().num_clusters
+                )
+                with pytest.raises(CheckpointError, match="degraded"):
+                    pipe.get_state()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_blocks_ingestion(self, events):
+        pipe = make_pipeline(2)
+        pipe.process(events[:20])
+        pipe.close()
+        pipe.close()
+        assert all(proc is None for proc in pipe._procs)
+        with pytest.raises(RuntimeError, match="closed"):
+            pipe.apply_many(events[:2])
+
+    def test_progress_snapshot_is_barrier_free(self, events):
+        with make_pipeline(2, batch_events=8) as pipe:
+            pipe.apply_many(events[:60])
+            # No merge cached yet: the report must not force a barrier.
+            assert pipe.approx_num_clusters is None
+            assert pipe.progress_snapshot() == {}
+            clusters = pipe.num_clusters  # explicit barrier
+            assert pipe.progress_snapshot() == {"clusters": clusters}
+
+    def test_worker_metrics_shape(self, events):
+        with make_pipeline(2, batch_events=8) as pipe:
+            pipe.apply_many(events[:60])
+            payloads = pipe.worker_metrics()
+            assert len(payloads) == 2
+            assert sum(p["events_applied"] for p in payloads) >= 60
+            for payload in payloads:
+                assert payload["busy_seconds"] >= 0.0
+                assert payload["cpu_seconds"] > 0.0
+                assert "admissions" in payload["stats"]
+                assert "partition_builds" in payload["probes"]
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineClusterer(CONFIG, 0)
+        with pytest.raises(ValueError):
+            PipelineClusterer(CONFIG, 2, batch_events=0, start=False)
+
+    def test_self_loop_rejected_at_routing(self):
+        with make_pipeline(2) as pipe:
+            with pytest.raises(ValueError, match="self-loop"):
+                pipe.apply((EventKind.ADD_EDGE, 5, 5))

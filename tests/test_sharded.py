@@ -8,6 +8,7 @@ from repro.core import (
     StreamingGraphClusterer,
     cluster_stream_parallel,
 )
+from repro.core.sharded import _mp_context
 from repro.streams import (
     add_edge,
     add_vertex,
@@ -100,6 +101,61 @@ class TestMergedClustering:
                             seed=sharded.shards[0].config.seed)
         ).process(events)
         assert sharded.snapshot() == plain.snapshot()
+
+
+class TestSpawnContext:
+    def test_drivers_use_spawn_start_method(self):
+        """Worker processes must use ``spawn``, never the platform
+        default: forked workers inherit the parent's RNG state and open
+        descriptors, and results would differ between Linux and macOS."""
+        ctx = _mp_context()
+        assert ctx.get_start_method() == "spawn"
+        assert ctx.Process.__name__ == "SpawnProcess"
+
+
+class TestMergeCache:
+    def test_merge_cached_until_structure_changes(self):
+        sharded = make(num_shards=2)
+        sharded.apply(add_edge(1, 2))
+        sharded.apply(add_edge(3, 4))
+        assert sharded.merge_builds == 0
+        first = sharded.snapshot()
+        assert sharded.merge_builds == 1
+        # Read-only queries reuse the cached merge.
+        assert sharded.snapshot() is first
+        sharded.same_cluster(1, 2)
+        sharded.cluster_members(3)
+        assert sharded.merge_builds == 1
+
+    def test_noop_events_do_not_rebuild(self):
+        sharded = make(num_shards=2)
+        sharded.apply(add_edge(1, 2))
+        sharded.snapshot()
+        builds = sharded.merge_builds
+        # Duplicate add under strict=False leaves every shard's
+        # structure version untouched, so the merge survives.
+        sharded.apply(add_edge(1, 2))
+        sharded.snapshot()
+        assert sharded.merge_builds == builds
+
+    def test_structural_change_rebuilds_once(self):
+        sharded = make(num_shards=2)
+        sharded.apply(add_edge(1, 2))
+        sharded.snapshot()
+        sharded.apply(delete_edge(1, 2))
+        assert not sharded.same_cluster(1, 2)
+        assert sharded.merge_builds == 2
+        sharded.snapshot()
+        assert sharded.merge_builds == 2
+
+    def test_cache_survives_state_roundtrip(self):
+        sharded = make(num_shards=2)
+        sharded.apply(add_edge(1, 2))
+        expected = sharded.snapshot()
+        restored = ShardedClusterer.from_state(sharded.get_state())
+        assert restored.merge_builds == 0
+        assert restored.snapshot() == expected
+        assert restored.merge_builds == 1
 
 
 class TestParallelDriver:
