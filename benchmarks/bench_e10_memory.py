@@ -11,8 +11,9 @@ edges): retained bytes after ingesting 200k events at various
 capacities, against the tracked-graph mode at one capacity.
 
 Expected shape: lean-mode footprint grows linearly in the *capacity*
-and stays far below the tracked-graph mode; bytes-per-sampled-edge is
-roughly constant.
+(plus the interner's O(V) label table, paid by both modes), while the
+tracked-graph mode additionally retains the full O(m) edge set;
+bytes-per-sampled-edge is roughly constant.
 """
 
 from bench_common import finish
@@ -59,6 +60,7 @@ def test_e10_memory(benchmark):
             bytes_per_sampled_edge=round(
                 measurement.net_bytes / max(1, clusterer.reservoir_size)
             ),
+            sample_structure_bytes=clusterer.sample_structure_bytes(),
         )
     clusterer, measurement = measure_allocations(lambda: build(5000, True))
     result.add_row(
@@ -67,11 +69,18 @@ def test_e10_memory(benchmark):
         sampled_edges=clusterer.reservoir_size,
         net_mib=round(measurement.net_mib, 1),
         bytes_per_sampled_edge=round(measurement.net_bytes / 5000),
+        sample_structure_bytes=clusterer.sample_structure_bytes(),
     )
     tracked_bytes = measurement.net_bytes
     finish(result)
 
     # Footprint scales with capacity...
     assert lean_bytes[50000] > 5 * lean_bytes[1000]
-    # ...and the lean mode at moderate capacity is far below full-graph.
-    assert tracked_bytes > 3 * lean_bytes[5000]
+    # ...and tracked mode pays for the full O(m) graph on top of the
+    # lean state: at the same capacity the retained difference must be
+    # at least a conservative per-event floor (a set-of-neighbours
+    # adjacency costs well over 64 bytes per edge).  Asserting on the
+    # *difference* rather than a ratio of totals keeps the check stable
+    # as the lean footprint itself evolves (e.g. the interner's O(V)
+    # label table is paid by both modes).
+    assert tracked_bytes - lean_bytes[5000] > 64 * PREFIX

@@ -9,7 +9,10 @@ the committed baseline in ``bench_results/perf_smoke_baseline.json``:
 * the batched path must also keep a healthy machine-independent margin
   over the per-event path (ratio check, immune to runner speed);
 * the pipeline run (2 workers, spawn excluded from the clock) must end
-  in exactly the partition sequential sharded execution reaches.
+  in exactly the partition sequential sharded execution reaches;
+* tracemalloc peak during a batched ingest must stay within
+  ``MEMORY_TOLERANCE`` (20%) of the baseline — allocation volume is
+  machine-independent, so this check is much tighter than the clocks.
 
 CI runners are slower and noisier than dev machines, so the baseline
 stores *this repo's* committed reference numbers and the tolerance is
@@ -28,6 +31,7 @@ import argparse
 import json
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
@@ -55,6 +59,7 @@ PREFIX_EVENTS = 40000
 BATCH_SIZE = 1024
 ROUNDS = 3  # best-of, to shed warmup and scheduler noise
 TOLERANCE = 0.30  # maximum allowed events/sec regression
+MEMORY_TOLERANCE = 0.20  # maximum allowed peak-ingest-memory growth
 MIN_BATCH_RATIO = 2.0  # batched must stay >= 2x per-event on any machine
 PIPELINE_WORKERS = 2  # small pool: the smoke gates routing/framing cost
 METRICS_TOLERANCE = 0.03  # max throughput cost of the metrics layer
@@ -128,6 +133,28 @@ def measure() -> dict:
     }
 
 
+def peak_memory() -> dict:
+    """tracemalloc peak during one batched ingest of the smoke prefix.
+
+    Unlike the throughput numbers this is nearly machine-independent —
+    allocation sizes don't drift with CPU speed — so the gate catches
+    structural memory regressions (a lost ``__slots__``, labels leaking
+    back into a hot dict, an accidental O(m) retained structure) with a
+    tolerance far tighter than the timing checks could afford.
+    """
+    _, events = dataset_events("dblp_like", seed=SEED)
+    events = events[:PREFIX_EVENTS]
+    raw = [(event.kind, event.u, event.v) for event in events]
+    capacity = max(1, len(events) // 10)
+    tracemalloc.start()
+    try:
+        _ingest(raw, capacity, BATCH_SIZE)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {"peak_ingest_bytes": peak}
+
+
 def metrics_overhead() -> dict:
     """Throughput cost of the observability layer on the batched path.
 
@@ -183,12 +210,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     current = measure()
+    current.update(peak_memory())
     print(f"per-event: {current['per_event_events_per_sec']:,} ev/s")
     print(f"batched (batch={BATCH_SIZE}): {current['batched_events_per_sec']:,} ev/s")
     print(
         f"pipeline ({PIPELINE_WORKERS} workers): "
         f"{current['pipeline_events_per_sec']:,} ev/s"
     )
+    print(f"peak ingest memory: {current['peak_ingest_bytes'] / 2**20:.1f} MiB")
 
     if args.update:
         payload = dict(current)
@@ -218,6 +247,15 @@ def main(argv=None) -> int:
     print(f"batched/per-event ratio: {ratio:.2f}x (floor {MIN_BATCH_RATIO}x)")
     if ratio < MIN_BATCH_RATIO:
         failures.append("batched/per-event ratio")
+
+    ceiling = baseline["peak_ingest_bytes"] * (1.0 + MEMORY_TOLERANCE)
+    status = "ok" if current["peak_ingest_bytes"] <= ceiling else "REGRESSION"
+    print(
+        f"peak_ingest_bytes: {current['peak_ingest_bytes']:,} vs baseline "
+        f"{baseline['peak_ingest_bytes']:,} (ceiling {ceiling:,.0f}) {status}"
+    )
+    if current["peak_ingest_bytes"] > ceiling:
+        failures.append("peak ingest memory")
 
     overhead = metrics_overhead()
     print(

@@ -8,9 +8,11 @@ counterpart the paper's "easily parallelized" claim actually needs::
 
     parent (producer stage)            worker processes (one per shard)
     ┌──────────────────────────┐       ┌───────────────────────────────┐
-    │ parse → canonicalize →   │ pipe  │ decode frame → apply_many →   │
-    │ route (FNV-1a/splitmix64)│ ────► │ per-shard                     │
-    │ → pack frames (codec)    │       │ StreamingGraphClusterer       │
+    │ parse → canonicalize →   │ pipe  │ delta-decode + intern →       │
+    │ route (FNV-1a/splitmix64)│ ────► │ apply_interned_many →         │
+    │ → pack delta frames      │       │ per-shard                     │
+    │   (codec v2, per-shard   │       │ StreamingGraphClusterer       │
+    │    persistent tables)    │       │ (dense-id hot path)           │
     └──────────────────────────┘       └───────────────────────────────┘
 
 * Workers are **long-lived** ``spawn`` processes; each owns exactly the
@@ -62,9 +64,8 @@ from repro.obs import metrics as _obs
 from repro.quality.partition import Partition
 from repro.streams.codec import (
     DEFAULT_MAX_FRAME_BYTES,
-    decode_batch,
-    encode_batch,
-    encode_batches,
+    FrameDecoder,
+    FrameEncoder,
 )
 from repro.streams.events import EdgeEvent, EventKind, Vertex
 from repro.util.validation import check_positive
@@ -94,15 +95,19 @@ def _pipeline_worker(
     attempt: int,
     fault,
     init_state: Optional[bytes],
+    init_table: Optional[list],
 ) -> None:
     """Worker process body: one shard clusterer, one command loop.
 
-    Applies batch frames exactly as :class:`ShardedClusterer` would
-    (edge runs through ``apply_many``, vertex events one at a time with
-    the same strict-mode DELETE_VERTEX tolerance), so per-shard state is
-    identical to sequential sharded execution. Any exception is
-    reported as an ``E`` reply and ends the process; the parent decides
-    whether to respawn.
+    Frames arrive as delta frames against a connection-lifetime vertex
+    table (``init_table`` primes it after a restart, matching the
+    parent's encoder snapshot). The decoder interns endpoints straight
+    into the shard clusterer's table, so edge runs are applied as dense
+    id tuples with zero label rehydration; vertex events take the
+    per-event path with the same strict-mode DELETE_VERTEX tolerance as
+    :class:`ShardedClusterer`. Per-shard state stays identical to
+    sequential sharded execution. Any exception is reported as an ``E``
+    reply and ends the process; the parent decides whether to respawn.
     """
     process_time = time.process_time
     try:
@@ -114,11 +119,10 @@ def _pipeline_worker(
             clusterer = StreamingGraphClusterer(
                 _shard_config(config, shard, num_shards)
             )
+        decoder = FrameDecoder(clusterer.interner, init_table)
         conn.send_bytes(_REPLY_READY)
         strict = clusterer.config.strict
         delete_vertex = EventKind.DELETE_VERTEX
-        add_edge = EventKind.ADD_EDGE
-        delete_edge = EventKind.DELETE_EDGE
         events_applied = 0
         busy = 0.0
         while True:
@@ -126,27 +130,29 @@ def _pipeline_worker(
             op = message[:1]
             if op == _OP_BATCH:
                 start = process_time()
-                events = decode_batch(message[1:])
-                events_applied += len(events)
-                bucket: List[AnyEvent] = []
-                for event in events:
-                    kind = event[0]
-                    if kind is add_edge or kind is delete_edge:
-                        bucket.append(event)
+                for segment in decoder.decode(message[1:]):
+                    if segment.__class__ is list:
+                        # Interned edge run — the zero-rehydration path.
+                        events_applied += len(segment)
+                        clusterer.apply_interned_many(segment)
                         continue
-                    if bucket:
-                        clusterer.apply_many(bucket)
-                        bucket = []
-                    if kind is delete_vertex and strict:
-                        # A vertex can be unknown to this shard; the
-                        # broadcast tolerates that (mirrors
-                        # ShardedClusterer.apply).
-                        graph = clusterer.graph
-                        if graph is not None and not graph.has_vertex(event[1]):
-                            continue
-                    clusterer.apply(EdgeEvent(kind, event[1], None))
-                if bucket:
-                    clusterer.apply_many(bucket)
+                    events_applied += 1
+                    kind = segment[0]
+                    if kind is delete_vertex or kind is EventKind.ADD_VERTEX:
+                        if kind is delete_vertex and strict:
+                            # A vertex can be unknown to this shard; the
+                            # broadcast tolerates that (mirrors
+                            # ShardedClusterer.apply).
+                            graph = clusterer.graph
+                            if graph is not None and not graph.has_vertex(
+                                segment[1]
+                            ):
+                                continue
+                        clusterer.apply(EdgeEvent(kind, segment[1], None))
+                        continue
+                    # Label-space edge event (self-loop): the per-event
+                    # path raises the canonical error at this position.
+                    clusterer.apply_many((segment,))
                 busy += process_time() - start
             elif op == _OP_SNAPSHOT:
                 payload = (list(clusterer.vertices()), clusterer.reservoir_edges())
@@ -262,6 +268,13 @@ class PipelineClusterer:
         # the log, so no event is lost on a worker death.
         self._base_state: List[Optional[bytes]] = [None] * n
         self._log: List[List[bytes]] = [[] for _ in range(n)]
+        # Delta-codec state: one connection-lifetime encoder per shard,
+        # plus the table snapshot taken whenever the frame log restarts
+        # (a respawned worker's decoder is primed with the snapshot and
+        # the replayed log rebuilds the rest, so encoder and decoder
+        # tables never diverge).
+        self._encoders: List[FrameEncoder] = [FrameEncoder() for _ in range(n)]
+        self._base_tables: List[list] = [[] for _ in range(n)]
         self._failed: List[bool] = [False] * n
         self._fail_errors: List[Optional[str]] = [None] * n
         self._key_cache: Dict[Vertex, int] = {}
@@ -311,6 +324,7 @@ class PipelineClusterer:
                 self.shard_attempts[shard],
                 self._fault,
                 self._base_state[shard],
+                self._base_tables[shard],
             ),
             daemon=True,
         )
@@ -433,7 +447,9 @@ class PipelineClusterer:
             self.dropped_events += len(buffer)
             buffer.clear()
             return
-        for frame in encode_batches(buffer, max_bytes=self.max_frame_bytes):
+        for frame in self._encoders[shard].encode_batches(
+            buffer, max_bytes=self.max_frame_bytes
+        ):
             self._send_frame(shard, _OP_BATCH + frame)
         buffer.clear()
 
@@ -518,14 +534,17 @@ class PipelineClusterer:
                     self._flush_shard(shard)
                 continue
             # Vertex event: flush everything so the broadcast lands at
-            # the same per-shard position as sequential execution.
+            # the same per-shard position as sequential execution. Each
+            # shard's frame is encoded against its own delta table (the
+            # vertex may be new to some shards and warm in others).
             self._flush_all()
-            frame = _OP_BATCH + encode_batch([(kind, u, None)])
+            broadcast = [(kind, u, None)]
             for shard in range(num_shards):
                 shard_events[shard] += 1
                 if self._failed[shard]:
                     self.dropped_events += 1
                     continue
+                frame = _OP_BATCH + self._encoders[shard].encode_batch(broadcast)
                 self._send_frame(shard, frame)
         # No automatic metrics sync here: for this class it is a worker
         # round-trip barrier, so it runs at stream boundaries
@@ -695,9 +714,12 @@ class PipelineClusterer:
                     f"fetching its state ({self._fail_errors[shard]})"
                 )
             # The fetched state doubles as the shard's recovery base:
-            # the frame log restarts here, bounding replay-on-death.
+            # the frame log restarts here, bounding replay-on-death. The
+            # encoder table is snapshot alongside — a respawn primes the
+            # fresh decoder with it before the (now empty) log replays.
             self._base_state[shard] = payload
             self._log[shard].clear()
+            self._base_tables[shard] = self._encoders[shard].table()
             state = pickle.loads(payload)
             state["config"] = _shard_config(self.config, shard, self.num_shards)
             states.append(state)
@@ -812,7 +834,7 @@ class PipelineClusterer:
             if conn is None or self._failed[shard]:
                 continue
             try:
-                for frame in encode_batches(
+                for frame in self._encoders[shard].encode_batches(
                     self._buffers[shard], max_bytes=self.max_frame_bytes
                 ):
                     conn.send_bytes(_OP_BATCH + frame)

@@ -1,6 +1,7 @@
 """Graph substrates: dynamic adjacency graphs and frozen CSR snapshots."""
 
 from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.intern import MAX_VERTEX_ID, VertexInterner
 from repro.graph.convert import (
     adjacency_to_csr,
     csr_to_adjacency,
@@ -12,6 +13,8 @@ from repro.graph.csr import CSRGraph
 __all__ = [
     "AdjacencyGraph",
     "CSRGraph",
+    "MAX_VERTEX_ID",
+    "VertexInterner",
     "adjacency_to_csr",
     "csr_to_adjacency",
     "events_to_edge_list",

@@ -50,19 +50,27 @@ it is bit-identical to one driven through the two-phase protocol.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Generic, Iterator, List, Optional, TypeVar, Union
 
 from repro.util.rng import make_rng
 from repro.util.validation import check_positive
 
-__all__ = ["NOT_ADMITTED", "InsertProposal", "RandomPairingReservoir"]
+__all__ = [
+    "NOT_ADMITTED",
+    "InsertProposal",
+    "PackedEdgeReservoir",
+    "RandomPairingReservoir",
+]
 
 T = TypeVar("T")
 
 
 class _NotAdmitted:
     """Sentinel type for :data:`NOT_ADMITTED` (kept picklable/reprable)."""
+
+    __slots__ = ()
 
     _instance: Optional["_NotAdmitted"] = None
 
@@ -81,7 +89,7 @@ class _NotAdmitted:
 NOT_ADMITTED = _NotAdmitted()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InsertProposal(Generic[T]):
     """Outcome of :meth:`RandomPairingReservoir.propose_insert`.
 
@@ -99,6 +107,16 @@ class InsertProposal(Generic[T]):
 
 class RandomPairingReservoir(Generic[T]):
     """Uniform bounded-size sample of a stream with deletions."""
+
+    __slots__ = (
+        "_capacity",
+        "_rng",
+        "_slots",
+        "_slot_of",
+        "_population",
+        "_c_bad",
+        "_c_good",
+    )
 
     def __init__(self, capacity: int, seed: int | None = 0) -> None:
         check_positive("capacity", capacity)
@@ -318,3 +336,23 @@ class RandomPairingReservoir(Generic[T]):
             return True
         self._c_good += 1
         return False
+
+
+class PackedEdgeReservoir(RandomPairingReservoir[int]):
+    """Random-pairing reservoir over packed ``(u32, u32)`` edge keys.
+
+    Items are single non-negative ints — ``(min_id << 32) | max_id`` for
+    an edge between two interned vertex ids
+    (:class:`~repro.graph.intern.VertexInterner`) — so the slot array is
+    a compact ``array('Q')`` (8 bytes per sampled edge instead of a
+    56-byte tuple plus two object references) and the item→slot index
+    dict hashes machine ints. Sampling decisions, RNG draws, and the
+    slot-order state contract are exactly the base class's; only the
+    slot storage differs.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, capacity: int, seed: int | None = 0) -> None:
+        super().__init__(capacity, seed=seed)
+        self._slots = array("Q")

@@ -31,24 +31,51 @@ Round-trip is exact: ``decode_batch(encode_batch(events))`` returns the
 same ``(kind, u, v)`` tuples, property-tested in
 ``tests/test_codec.py``. A corrupt or truncated frame raises
 ``ValueError`` from :func:`decode_batch`.
+
+Delta frames (version 2)
+------------------------
+:class:`FrameEncoder` / :class:`FrameDecoder` implement the stateful
+variant the persistent pipeline uses: the vertex table lives for the
+*connection*, not the frame. Each frame ships only the entries the
+receiver has not seen yet (``u32`` indexes address the cumulative
+table), so a long-lived shard stops paying label bytes for its working
+set almost immediately::
+
+    u8   format version (2)
+    u32  NEW vertex-table entry count T (appended to the table)
+    T×   tagged entry (same tags as version 1)
+    u32  event count N
+    N×   u32 kind, u32 u_index, u32 v_index  (cumulative-table indexes)
+
+The decoder additionally *interns* vertices straight into a
+:class:`~repro.graph.intern.VertexInterner` — edge endpoints and
+ADD_VERTEX labels are assigned dense ids at decode time, in exactly the
+order the sequential batch path would assign them, so a pipeline worker
+applies edge runs as already-interned id tuples with zero label
+rehydration on its hot path (see
+``StreamingGraphClusterer.apply_interned_many``).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.streams.events import EventKind, RawEvent
 
 __all__ = [
     "CODEC_VERSION",
+    "DELTA_CODEC_VERSION",
     "DEFAULT_MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "FrameEncoder",
     "decode_batch",
     "encode_batch",
     "encode_batches",
 ]
 
 CODEC_VERSION = 1
+DELTA_CODEC_VERSION = 2
 
 #: Default frame-size ceiling for :func:`encode_batches`. Frames are
 #: also pipe messages, so keeping them well under the OS pipe buffer
@@ -173,6 +200,42 @@ def encode_batches(
         yield encode_batch(batch)
 
 
+def _decode_entries(data: bytes, offset: int, count: int, out: List[object]) -> int:
+    """Parse ``count`` tagged vertex-table entries into ``out``.
+
+    Shared by the stateless version-1 reader and the delta decoder;
+    returns the offset past the last entry. Structural problems raise
+    ``ValueError`` (callers add no further context — the messages are
+    already frame-specific).
+    """
+    for _ in range(count):
+        tag = data[offset]
+        offset += 1
+        if tag == 0:
+            (value,) = struct.unpack_from("<q", data, offset)
+            offset += 8
+        elif tag in (1, 2):
+            (length,) = _U32.unpack_from(data, offset)
+            offset += 4
+            raw = data[offset : offset + length]
+            if len(raw) != length:
+                raise ValueError("corrupt event frame: truncated vertex entry")
+            offset += length
+            if tag == 1:
+                value = raw.decode("utf-8")
+            else:
+                try:
+                    value = int(raw)
+                except ValueError:
+                    raise ValueError(
+                        "corrupt event frame: malformed bigint entry"
+                    ) from None
+        else:
+            raise ValueError(f"corrupt event frame: unknown vertex entry tag {tag}")
+        out.append(value)
+    return offset
+
+
 def decode_batch(data: bytes) -> List[RawEvent]:
     """Decode one frame back into raw ``(kind, u, v)`` event tuples.
 
@@ -192,31 +255,7 @@ def decode_batch(data: bytes) -> List[RawEvent]:
     offset = _HEADER.size
     vertices: List[object] = []
     try:
-        for _ in range(table_count):
-            tag = data[offset]
-            offset += 1
-            if tag == 0:
-                (value,) = struct.unpack_from("<q", data, offset)
-                offset += 8
-            elif tag in (1, 2):
-                (length,) = _U32.unpack_from(data, offset)
-                offset += 4
-                raw = data[offset : offset + length]
-                if len(raw) != length:
-                    raise ValueError("corrupt event frame: truncated vertex entry")
-                offset += length
-                if tag == 1:
-                    value = raw.decode("utf-8")
-                else:
-                    try:
-                        value = int(raw)
-                    except ValueError:
-                        raise ValueError(
-                            "corrupt event frame: malformed bigint entry"
-                        ) from None
-            else:
-                raise ValueError(f"corrupt event frame: unknown vertex entry tag {tag}")
-            vertices.append(value)
+        offset = _decode_entries(data, offset, table_count, vertices)
         (count,) = _U32.unpack_from(data, offset)
         offset += 4
         flat = struct.unpack_from(f"<{3 * count}I", data, offset)
@@ -255,3 +294,259 @@ def decode_batch(data: bytes) -> List[RawEvent]:
                 )
             append((kinds[code], vertices[u_index], None))
     return events
+
+
+class FrameEncoder:
+    """Stateful version-2 frame writer (one per pipeline shard).
+
+    The vertex table is cumulative: a label is shipped (as a tagged
+    entry) in the first frame that mentions it and addressed by its
+    ``u32`` table index forever after. The matching :class:`FrameDecoder`
+    must be primed with the same base table (``table()`` snapshots it
+    for checkpoint/respawn resynchronization).
+
+    A failed :meth:`encode_batch` (unsupported vertex type, unknown
+    kind) rolls the table back to its pre-call state, so the encoder
+    stays in sync with the decoder even when the caller recovers from
+    the error.
+    """
+
+    __slots__ = ("_index", "_labels")
+
+    def __init__(self, labels: Optional[Iterable] = None) -> None:
+        self._labels: List = []
+        self._index: Dict = {}
+        if labels is not None:
+            for label in labels:
+                if label in self._index:
+                    raise ValueError(f"duplicate vertex-table label {label!r}")
+                self._index[label] = len(self._labels)
+                self._labels.append(label)
+
+    @property
+    def table_size(self) -> int:
+        """Cumulative vertex-table entry count."""
+        return len(self._labels)
+
+    def table(self) -> List:
+        """Copy of the cumulative label table, in index order."""
+        return list(self._labels)
+
+    def encode_batch(self, events: Sequence) -> bytes:
+        """Encode a batch as one delta frame, growing the table."""
+        index = self._index
+        labels = self._labels
+        staged: List = []  # labels added by this frame (rolled back on error)
+        entries: List[bytes] = []
+        flat: List[int] = []
+        kind_code = _KIND_CODE
+        no_vertex = _NO_VERTEX
+        try:
+            for event in events:
+                kind, u, v = _event_fields(event)
+                code = kind_code.get(kind)
+                if code is None:
+                    raise ValueError(f"unknown event kind {kind!r}")
+                u_index = index.get(u)
+                if u_index is None:
+                    entry = _encode_entry(u)
+                    u_index = index[u] = len(labels)
+                    labels.append(u)
+                    staged.append(u)
+                    entries.append(entry)
+                if v is None:
+                    v_index = no_vertex
+                else:
+                    v_index = index.get(v)
+                    if v_index is None:
+                        entry = _encode_entry(v)
+                        v_index = index[v] = len(labels)
+                        labels.append(v)
+                        staged.append(v)
+                        entries.append(entry)
+                flat.append(code)
+                flat.append(u_index)
+                flat.append(v_index)
+        except Exception:
+            for label in reversed(staged):
+                del index[label]
+                labels.pop()
+            raise
+        parts = [_HEADER.pack(DELTA_CODEC_VERSION, len(entries))]
+        parts.extend(entries)
+        parts.append(_U32.pack(len(flat) // 3))
+        parts.append(struct.pack(f"<{len(flat)}I", *flat))
+        return b"".join(parts)
+
+    def encode_batches(
+        self, events: Iterable, *, max_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    ) -> Iterator[bytes]:
+        """Delta-frame counterpart of :func:`encode_batches`.
+
+        Size accounting charges a label's entry bytes only the first
+        time the *connection* (not the frame) mentions it, so a warm
+        table packs far more events per frame.
+        """
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        index = self._index
+        batch: List = []
+        size = _HEADER.size + _U32.size
+        pending: set = set()  # labels new in the current, uncommitted batch
+        for event in events:
+            _, u, v = _event_fields(event)
+            added = 12  # one packed triplet
+            if u not in index and u not in pending:
+                added += len(_encode_entry(u))
+            if v is not None and v != u and v not in index and v not in pending:
+                added += len(_encode_entry(v))
+            if batch and size + added > max_bytes:
+                yield self.encode_batch(batch)
+                batch = []
+                pending = set()
+                size = _HEADER.size + _U32.size
+                added = 12
+                if u not in index:
+                    added += len(_encode_entry(u))
+                if v is not None and v != u and v not in index:
+                    added += len(_encode_entry(v))
+            batch.append(event)
+            pending.add(u)
+            if v is not None:
+                pending.add(v)
+            size += added
+        if batch:
+            yield self.encode_batch(batch)
+
+
+class FrameDecoder:
+    """Stateful version-2 frame reader (one per pipeline worker).
+
+    Mirrors a :class:`FrameEncoder`'s cumulative table and *interns*
+    vertices into the worker clusterer's
+    :class:`~repro.graph.intern.VertexInterner` at decode time.
+
+    :meth:`decode` returns *segments*: maximal runs of edge events as
+    lists of already-interned ``(kind, uid, vid)`` id tuples — fed
+    straight to ``StreamingGraphClusterer.apply_interned_many`` with
+    zero label rehydration — interleaved with single label-space
+    ``(kind, u, None)``/``(kind, u, v)`` tuples for everything that must
+    take the per-event path: vertex events, plus self-loop edge events,
+    which the decoder deliberately leaves uninterned so the per-event
+    path rejects them exactly as sequential ingestion would.
+
+    Intern order follows the sequential contract — walking the frame's
+    events in order, edge endpoints intern in label-canonical order and
+    ADD_VERTEX labels intern on sight (DELETE_VERTEX never interns) —
+    so a worker's intern table, and therefore its checkpoint bytes, are
+    identical to what the same shard stream would build inline.
+    """
+
+    __slots__ = ("_interner", "_labels", "_ids")
+
+    def __init__(self, interner, labels: Optional[Iterable] = None) -> None:
+        self._interner = interner
+        self._labels: List = []
+        self._ids: List[int] = []  # parallel to _labels; -1 = not interned yet
+        if labels is not None:
+            self._labels.extend(labels)
+            self._ids.extend([-1] * len(self._labels))
+
+    @property
+    def table_size(self) -> int:
+        """Cumulative vertex-table entry count."""
+        return len(self._labels)
+
+    def decode(self, data: bytes) -> List:
+        """Decode one delta frame into apply-ready segments."""
+        try:
+            version, new_count = _HEADER.unpack_from(data, 0)
+        except struct.error:
+            raise ValueError("corrupt event frame: truncated header") from None
+        if version != DELTA_CODEC_VERSION:
+            raise ValueError(
+                f"corrupt event frame: unsupported delta codec version "
+                f"{version} (this decoder reads {DELTA_CODEC_VERSION})"
+            )
+        labels = self._labels
+        ids = self._ids
+        offset = _HEADER.size
+        fresh: List[object] = []
+        try:
+            offset = _decode_entries(data, offset, new_count, fresh)
+            (count,) = _U32.unpack_from(data, offset)
+            offset += 4
+            flat = struct.unpack_from(f"<{3 * count}I", data, offset)
+        except (struct.error, IndexError, UnicodeDecodeError) as error:
+            raise ValueError(f"corrupt event frame: {error}") from None
+        if offset + 12 * count != len(data):
+            raise ValueError(
+                f"corrupt event frame: {len(data) - offset - 12 * count} "
+                "trailing bytes"
+            )
+        labels.extend(fresh)
+        ids.extend([-1] * len(fresh))
+        table_count = len(labels)
+        intern = self._interner.intern
+        kinds = _KINDS
+        edge_codes = _EDGE_CODES
+        no_vertex = _NO_VERTEX
+        add_vertex = EventKind.ADD_VERTEX
+        segments: List = []
+        run: List[Tuple[EventKind, int, int]] = []
+        for i in range(0, 3 * count, 3):
+            code, u_index, v_index = flat[i], flat[i + 1], flat[i + 2]
+            if code >= len(kinds):
+                raise ValueError(f"corrupt event frame: unknown kind code {code}")
+            if u_index >= table_count:
+                raise ValueError(
+                    f"corrupt event frame: vertex index {u_index} out of range"
+                )
+            if code in edge_codes:
+                if v_index >= table_count:
+                    raise ValueError(
+                        "corrupt event frame: edge event with missing or "
+                        f"out-of-range endpoint index {v_index}"
+                    )
+                u = labels[u_index]
+                v = labels[v_index]
+                if u == v:
+                    # Self-loop: emit label-space; the per-event path
+                    # raises the canonical ValueError at the right
+                    # stream position, and nothing is interned.
+                    if run:
+                        segments.append(run)
+                        run = []
+                    segments.append((kinds[code], u, v))
+                    continue
+                try:
+                    swap = v < u
+                except TypeError:
+                    swap = repr(v) < repr(u)
+                if swap:
+                    u_index, v_index = v_index, u_index
+                    u, v = v, u
+                uid = ids[u_index]
+                if uid < 0:
+                    uid = ids[u_index] = intern(u)
+                vid = ids[v_index]
+                if vid < 0:
+                    vid = ids[v_index] = intern(v)
+                run.append((kinds[code], uid, vid))
+                continue
+            if v_index != no_vertex:
+                raise ValueError(
+                    "corrupt event frame: vertex event carries a second "
+                    "endpoint"
+                )
+            if run:
+                segments.append(run)
+                run = []
+            kind = kinds[code]
+            label = labels[u_index]
+            if kind is add_vertex and ids[u_index] < 0:
+                ids[u_index] = intern(label)
+            segments.append((kind, label, None))
+        if run:
+            segments.append(run)
+        return segments

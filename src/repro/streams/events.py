@@ -67,7 +67,7 @@ def canonical_edge(u: Vertex, v: Vertex) -> Edge:
         return (u, v) if repr(u) <= repr(v) else (v, u)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EdgeEvent:
     """One update in a streaming graph.
 
