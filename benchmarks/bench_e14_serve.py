@@ -1,0 +1,117 @@
+"""E14 — service-loop overhead (extension).
+
+The streaming service (`repro.serve`) puts a socket, a wire codec and a
+per-tenant queue between the producer and the clusterer. The number
+that matters operationally is the *tax*: events/sec through one socket
+tenant versus the same stream applied inline, and how that tax amortizes
+with concurrent tenants (separate sessions share nothing but the event
+loop, so aggregate throughput should grow with tenant count until the
+single-threaded drain saturates).
+
+Measured on the amazon_like stream over a unix-domain socket (the
+deployment case the CI smoke covers; TCP adds only kernel loopback
+cost). Each served run asserts the equivalence contract on the exact
+stream being benchmarked: the served snapshot must equal the inline
+snapshot.
+
+Expected shape: a single tenant pays a moderate constant factor for
+framing + queue hops; N tenants streaming concurrently recover most of
+it in aggregate because client encoding overlaps server drain.
+"""
+
+import os
+import tempfile
+import threading
+
+from bench_common import dataset_events, finish, timed
+from repro.bench import ExperimentResult
+from repro.core import ClustererConfig, StreamingGraphClusterer
+from repro.serve import ClusterService, ServiceClient
+from repro.serve.protocol import render_snapshot
+
+CAPACITY = 5000
+TENANT_COUNTS = (1, 2, 4)
+
+
+def _config() -> ClustererConfig:
+    return ClustererConfig(
+        reservoir_capacity=CAPACITY, track_graph=False, strict=False, seed=14
+    )
+
+
+def _serve_tenants(events, num_tenants: int, sock_path: str) -> float:
+    """Stream ``events`` as ``num_tenants`` concurrent tenants; returns
+    elapsed seconds (snapshot equivalence asserted against inline)."""
+    inline = StreamingGraphClusterer(_config())
+    inline.process(list(events))
+    expected = render_snapshot(inline.snapshot())
+
+    service = ClusterService(_config(), path=sock_path)
+    thread = threading.Thread(target=service.run, daemon=True)
+    thread.start()
+    assert service.started.wait(timeout=30.0)
+
+    snapshots = {}
+
+    def stream(tenant: str) -> None:
+        with ServiceClient(sock_path, tenant=tenant) as client:
+            client.send_events(events)
+            snapshots[tenant] = client.snapshot()
+
+    workers = [
+        threading.Thread(target=stream, args=(f"t{i}",))
+        for i in range(num_tenants)
+    ]
+    _, elapsed = timed(lambda: [
+        [w.start() for w in workers],
+        [w.join() for w in workers],
+    ])
+    service.request_shutdown(0)
+    thread.join(timeout=30.0)
+    for tenant, snapshot in snapshots.items():
+        assert snapshot == expected, f"tenant {tenant} diverged"
+    return elapsed
+
+
+def test_e14_serve(benchmark):
+    _, events = dataset_events("amazon_like", seed=14)
+    events = list(events)
+    result = ExperimentResult(
+        "e14_serve",
+        f"service-loop tax vs inline ({len(events)} amazon_like events, "
+        "unix socket)",
+    )
+
+    # The inline baseline uses apply_many — the same batched fast path
+    # the server's drain loop uses — so the tax measured is the socket,
+    # codec and queue, not a difference in apply paths.
+    clusterer = StreamingGraphClusterer(_config())
+    _, inline_s = timed(lambda: clusterer.apply_many(events))
+    inline_eps = len(events) / inline_s
+    result.rows.append({
+        "mode": "inline", "tenants": 1,
+        "events_per_s": round(inline_eps),
+        "aggregate_events_per_s": round(inline_eps),
+        "tax_pct": 0.0,
+    })
+
+    with tempfile.TemporaryDirectory() as tmp:
+        for num_tenants in TENANT_COUNTS:
+            sock = os.path.join(tmp, f"bench{num_tenants}.sock")
+            elapsed = _serve_tenants(events, num_tenants, sock)
+            aggregate = num_tenants * len(events) / elapsed
+            per_tenant = len(events) / elapsed
+            result.rows.append({
+                "mode": "served", "tenants": num_tenants,
+                "events_per_s": round(per_tenant),
+                "aggregate_events_per_s": round(aggregate),
+                "tax_pct": round(100.0 * (1.0 - per_tenant / inline_eps), 1),
+            })
+
+        # The pytest-benchmark row: the steady-state single-tenant loop.
+        sock = os.path.join(tmp, "bench_loop.sock")
+        benchmark.pedantic(
+            lambda: _serve_tenants(events, 1, sock), rounds=1, iterations=1
+        )
+
+    finish(result)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the operational loop a downstream user needs
+Five subcommands cover the operational loop a downstream user needs
 without writing Python:
 
 * ``repro generate`` — materialize a workload (registry dataset, SBM,
@@ -8,7 +8,12 @@ without writing Python:
 * ``repro cluster`` — stream an edge-list or event file through the
   clusterer and write ``vertex<TAB>cluster`` labels;
 * ``repro score`` — evaluate a labels file against a graph and/or truth
-  labels (modularity, conductance, NMI, ARI, F1).
+  labels (modularity, conductance, NMI, ARI, F1);
+* ``repro serve`` — run the always-on clustering daemon: many tenants,
+  socket ingestion, mid-stream queries, per-tenant checkpoints
+  (see ``docs/service.md``);
+* ``repro send`` — stream a workload file to a running daemon as one
+  tenant and write the served snapshot.
 
 ``repro cluster`` scales across cores with ``--parallel``: ``inline``
 shards the stream in-process (a scalability baseline), ``pool`` forks a
@@ -36,6 +41,9 @@ Malformed inputs exit with code 2 and a one-line message, not a
 traceback; ``--skip-malformed`` tolerates bad lines instead. A stdout
 consumer that closes the pipe early (``repro cluster ... | head``) ends
 the run quietly instead of with a ``BrokenPipeError`` traceback.
+Ctrl-C exits with the conventional code 130 (``128 + SIGINT``) after
+running every cleanup path — pipeline workers are reaped, and ``repro
+serve`` drains tenant queues and writes per-tenant checkpoints first.
 
 Examples
 --------
@@ -91,6 +99,33 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    """The clusterer-configuration flags ``cluster`` and ``serve`` share
+    (one spelling, one help text, one resume-mismatch vocabulary)."""
+    parser.add_argument("--capacity", type=int, required=True,
+                        help="reservoir capacity (edges)")
+    parser.add_argument("--max-cluster-size", type=int,
+                        help="bound every cluster's size")
+    parser.add_argument("--min-clusters", type=int,
+                        help="keep at least this many clusters")
+    parser.add_argument("--backend", choices=("hdt", "naive", "lazy"), default="hdt")
+    parser.add_argument("--lean", action="store_true",
+                        help="do not track the full graph (reservoir-only memory)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_endpoint_flags(parser: argparse.ArgumentParser, *, role: str) -> None:
+    """The service endpoint flags ``serve`` and ``send`` share."""
+    parser.add_argument("--host", default="127.0.0.1",
+                        help=f"TCP host to {role} (default: 127.0.0.1)")
+    parser.add_argument("--port", type=_nonnegative_int, default=7227,
+                        metavar="N",
+                        help=f"TCP port to {role} (default: 7227; when "
+                             "serving, 0 picks an ephemeral port)")
+    parser.add_argument("--unix", metavar="PATH",
+                        help="use a unix-domain socket at PATH instead of TCP")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -117,16 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("input", help="edge-list file (or event stream with --events)")
     cluster.add_argument("--events", action="store_true",
                          help="input is a +/- event stream, not an edge list")
-    cluster.add_argument("--capacity", type=int, required=True,
-                         help="reservoir capacity (edges)")
-    cluster.add_argument("--max-cluster-size", type=int,
-                         help="bound every cluster's size")
-    cluster.add_argument("--min-clusters", type=int,
-                         help="keep at least this many clusters")
-    cluster.add_argument("--backend", choices=("hdt", "naive", "lazy"), default="hdt")
-    cluster.add_argument("--lean", action="store_true",
-                         help="do not track the full graph (reservoir-only memory)")
-    cluster.add_argument("--seed", type=int, default=0)
+    _add_config_flags(cluster)
     cluster.add_argument("--batch-size", type=_nonnegative_int, default=1024,
                          metavar="N",
                          help="ingest events in batches of N through the fast "
@@ -168,6 +194,67 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("labels", help="vertex<TAB>cluster labels file")
     score.add_argument("--graph", help="edge-list file for internal metrics")
     score.add_argument("--truth", help="ground-truth labels file for external metrics")
+
+    serve = commands.add_parser(
+        "serve", help="run the streaming clustering service daemon"
+    )
+    _add_config_flags(serve)
+    _add_endpoint_flags(serve, role="listen on")
+    serve.add_argument("--max-tenants", type=_positive_int, default=64,
+                       metavar="N",
+                       help="admission ceiling on concurrent tenants "
+                            "(default: 64)")
+    serve.add_argument("--max-frame-bytes", type=_positive_int,
+                       default=None, metavar="N",
+                       help="per-message wire size ceiling "
+                            "(default: 4 MiB)")
+    serve.add_argument("--queue-depth", type=_positive_int, default=64,
+                       metavar="N",
+                       help="per-tenant ingest queue bound, in batches; "
+                            "a full queue backpressures that tenant's "
+                            "producers (default: 64)")
+    serve.add_argument("--workers", type=_nonnegative_int, default=0,
+                       metavar="N",
+                       help="run each tenant on an N-worker pipeline "
+                            "(0: in-process clusterer per tenant; default)")
+    serve.add_argument("--batch-size", type=_positive_int, default=1024,
+                       metavar="N",
+                       help="pipeline producer buffer size (with --workers)")
+    serve.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="write per-tenant checkpoints (<tenant>.rpk) "
+                            "under DIR; graceful shutdown always saves")
+    serve.add_argument("--checkpoint-every", type=_nonnegative_int, default=0,
+                       metavar="N",
+                       help="also checkpoint each tenant every N events "
+                            "(0: only at shutdown)")
+    serve.add_argument("--resume", action="store_true",
+                       help="resume tenants from their checkpoint files "
+                            "when they reconnect")
+    serve.add_argument("--metrics-out", metavar="PATH",
+                       help="write a JSON snapshot of the metrics registry "
+                            "(incl. serve.tenant.* SLO series) at exit")
+
+    send = commands.add_parser(
+        "send", help="stream a workload file to a running service"
+    )
+    send.add_argument("input", help="edge-list file (or event stream with --events)")
+    send.add_argument("--events", action="store_true",
+                      help="input is a +/- event stream, not an edge list")
+    send.add_argument("--tenant", required=True,
+                      help="tenant id to stream as ([A-Za-z0-9._-], <=128 chars)")
+    _add_endpoint_flags(send, role="connect to")
+    send.add_argument("--seed", type=int, default=0,
+                      help="insert-order shuffle seed (match the inline "
+                           "run you are comparing against)")
+    send.add_argument("--skip-malformed", action="store_true",
+                      help="skip unparseable input lines instead of aborting")
+    send.add_argument("--out", help="write the served snapshot labels to "
+                                    "PATH (default: stdout)")
+    send.add_argument("--no-snapshot", action="store_true",
+                      help="stream only; skip the final snapshot query")
+    send.add_argument("--metrics-out", metavar="PATH",
+                      help="write the tenant's served SLO metrics (JSON) "
+                           "to PATH after streaming")
     return parser
 
 
@@ -474,6 +561,114 @@ def _run_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.serve import ClusterService
+    from repro.streams.codec import DEFAULT_MAX_WIRE_BYTES
+
+    config = ClustererConfig(
+        reservoir_capacity=args.capacity,
+        constraint=_build_constraint(args),
+        connectivity_backend=args.backend,
+        track_graph=not args.lean,
+        strict=False,
+        seed=args.seed,
+    )
+    if args.metrics_out:
+        from repro import obs
+
+        obs.default_registry().reset()
+        obs.enable()
+    service = ClusterService(
+        config,
+        host=args.host,
+        port=args.port,
+        path=args.unix,
+        max_tenants=args.max_tenants,
+        max_frame_bytes=args.max_frame_bytes or DEFAULT_MAX_WIRE_BYTES,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+
+    def _announce() -> None:
+        # The daemon loop owns the main thread; report readiness from
+        # the side so wrappers can wait for this line (CI smoke does).
+        if service.started.wait(timeout=60.0):
+            endpoint = service.endpoint
+            where = (
+                endpoint if isinstance(endpoint, str)
+                else f"{endpoint[0]}:{endpoint[1]}"
+            )
+            print(f"serving on {where}", file=sys.stderr, flush=True)
+
+    threading.Thread(target=_announce, daemon=True).start()
+    try:
+        code = service.run()
+    except KeyboardInterrupt:
+        # SIGINT before the loop installed its handler (startup window):
+        # same graceful contract, same exit code as the handled path.
+        code = 130
+    if code == 130:
+        print("interrupted; tenants drained and checkpointed", file=sys.stderr)
+    if args.metrics_out:
+        from repro import obs
+
+        obs.default_registry().write_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return code
+
+
+def _run_send(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceClient
+    from repro.streams import (
+        insert_only_stream_raw,
+        read_edge_list,
+        read_event_stream_raw,
+    )
+
+    strict_io = not args.skip_malformed
+    io_errors: List[str] = []
+    if args.events:
+        stream = read_event_stream_raw(
+            args.input, strict=strict_io, errors=io_errors
+        )
+    else:
+        edges = read_edge_list(args.input, strict=strict_io, errors=io_errors)
+        stream = insert_only_stream_raw(edges, seed=args.seed)
+    endpoint = args.unix if args.unix else (args.host, args.port)
+    with ServiceClient(endpoint, tenant=args.tenant) as client:
+        count = client.send_events(stream)
+        summary = f"sent {count} events as tenant {args.tenant!r}"
+        if not args.no_snapshot:
+            snapshot = client.snapshot()
+            handle = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+            try:
+                handle.write(snapshot)
+            finally:
+                if args.out:
+                    handle.close()
+            clusters = len({
+                line.rpartition("\t")[2]
+                for line in snapshot.splitlines() if line
+            })
+            summary += f": {clusters} clusters"
+        if args.metrics_out:
+            import json
+
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(client.metrics(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+    if io_errors:
+        print(f"skipped {len(io_errors)} malformed input lines", file=sys.stderr)
+    print(summary, file=sys.stderr)
+    return 0
+
+
 def _run_score(args: argparse.Namespace) -> int:
     predicted = _read_labels(args.labels)
     print(f"clusters: {predicted.num_clusters}  vertices: {predicted.num_vertices}  "
@@ -496,8 +691,10 @@ def _run_score(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
-    Library errors (malformed inputs, corrupted checkpoints, …) exit
-    with code 2 and a one-line message on stderr instead of a traceback.
+    Library errors (malformed inputs, corrupted checkpoints, service
+    refusals, …) exit with code 2 and a one-line message on stderr
+    instead of a traceback; an operator interrupt (Ctrl-C / SIGINT)
+    exits 130 after cleanup.
     """
     args = build_parser().parse_args(argv)
     try:
@@ -505,10 +702,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_generate(args)
         if args.command == "cluster":
             return _run_cluster(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "send":
+            return _run_send(args)
         return _run_score(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Ctrl-C on a long run is a normal operator action, not a crash:
+        # no traceback, conventional exit code 128 + SIGINT. Cleanup has
+        # already run — the interrupt propagated through the command's
+        # ``finally`` blocks (pipeline workers reaped, checkpoints
+        # flushed) before landing here.
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # The stdout consumer (e.g. `repro cluster ... | head`) closed
         # the pipe; that's a normal way for a stream job to end, not a

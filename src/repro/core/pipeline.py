@@ -824,23 +824,47 @@ class PipelineClusterer:
         Pending buffered events are flushed first so late queries on a
         *different* handle (e.g. a checkpoint written just before) are
         never silently short; after close the pipeline refuses further
-        ingestion.
+        ingestion. Buffered events that cannot be flushed — the shard
+        is degraded, or its worker died and the pipe write fails — are
+        *lost*, and honestly so: they are counted into
+        :attr:`dropped_events` and draw the standard degradation
+        warning, so a checkpoint written just before a failed close is
+        never silently short either.
         """
         if self._closed:
             return
         self._closed = True
         for shard in range(self.num_shards):
             conn = self._conns[shard]
+            buffer = self._buffers[shard]
             if conn is None or self._failed[shard]:
+                # A tombstoned shard drops its events by contract, but
+                # the count must not vanish with them: events buffered
+                # since the last flush were never accounted.
+                if buffer:
+                    self.dropped_events += len(buffer)
+                    buffer.clear()
                 continue
             try:
                 for frame in self._encoders[shard].encode_batches(
-                    self._buffers[shard], max_bytes=self.max_frame_bytes
+                    buffer, max_bytes=self.max_frame_bytes
                 ):
                     conn.send_bytes(_OP_BATCH + frame)
-                self._buffers[shard].clear()
+                buffer.clear()
                 conn.send_bytes(_OP_STOP)
-            except (OSError, ValueError):
+            except (OSError, ValueError) as error:
+                if buffer:
+                    lost = len(buffer)
+                    self.dropped_events += lost
+                    buffer.clear()
+                    warnings.warn(
+                        f"shard {shard} failed while flushing {lost} "
+                        f"buffered event(s) at close "
+                        f"({type(error).__name__}: {error}); they are "
+                        "dropped from the final state",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
                 continue
         deadline = time.monotonic() + timeout
         for shard in range(self.num_shards):

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 __all__ = [
     "CheckpointError",
+    "ProtocolError",
     "ReproError",
+    "ServiceError",
     "StreamError",
     "UnsupportedOperationError",
 ]
@@ -30,6 +32,25 @@ class CheckpointError(ReproError):
     Raised for missing/unreadable files, wrong magic, unsupported format
     versions, truncation, CRC mismatches, and undecodable or structurally
     invalid payloads. A corrupted checkpoint is *never* loaded silently.
+    """
+
+
+class ServiceError(ReproError):
+    """The streaming service refused a request or cannot be reached.
+
+    Raised client-side for connection failures and server-reported
+    errors (admission rejects, protocol violations); the CLI maps it to
+    exit code 2 like every other :class:`ReproError`.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A wire message violated the service protocol.
+
+    Oversized or truncated length-prefixed messages, bad handshakes,
+    undecodable event frames, unknown opcodes. The server answers with
+    an error message and closes *that* connection; the daemon itself
+    and every other tenant keep running.
     """
 
 

@@ -205,6 +205,29 @@ class Histogram:
         """Mean of all observations (0.0 before the first)."""
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile from the buckets.
+
+        Returns the smallest bucket edge whose cumulative count covers
+        a ``q`` fraction of observations — i.e. "q of all observations
+        were <= this value". Resolution is the bucket grid: the service
+        SLO report (p99 ingest latency) needs no more. Returns 0.0
+        before the first observation and ``inf`` when the quantile
+        falls in the overflow bucket (the grid has no upper bound for
+        it; pick wider buckets if that happens in practice).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        threshold = q * self.count
+        cumulative = 0
+        for edge, bucket_count in zip(self.buckets, self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= threshold:
+                return edge
+        return float("inf")
+
     def as_dict(self) -> dict:
         return {
             "kind": self.kind,

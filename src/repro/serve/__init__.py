@@ -1,0 +1,26 @@
+"""Streaming clustering as a network service.
+
+The paper's clusterer is online by construction; this package makes it
+*operable* online: :class:`ClusterService` is an asyncio socket daemon
+that ingests codec-v2 event frames from many concurrent clients,
+multiplexes them onto per-tenant clusterer sessions, answers
+snapshot/membership/metrics queries mid-stream through FIFO barriers,
+and checkpoints every tenant through :mod:`repro.persist` on graceful
+shutdown. :class:`ServiceClient` is the blocking reference client.
+
+Front ends: ``repro serve`` and ``repro send`` (docs/service.md has the
+wire protocol, the operational knobs, and the per-tenant metric
+catalog).
+"""
+
+from repro.serve.client import ServiceClient
+from repro.serve.protocol import DEFAULT_MAX_WIRE_BYTES
+from repro.serve.server import ClusterService
+from repro.serve.session import TenantSession
+
+__all__ = [
+    "ClusterService",
+    "DEFAULT_MAX_WIRE_BYTES",
+    "ServiceClient",
+    "TenantSession",
+]

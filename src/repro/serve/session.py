@@ -1,0 +1,372 @@
+"""Per-tenant clusterer sessions for the streaming service.
+
+A :class:`TenantSession` owns one clusterer (a
+:class:`~repro.core.clusterer.StreamingGraphClusterer`, or a
+:class:`~repro.core.pipeline.PipelineClusterer` when the service runs
+with worker processes), a bounded FIFO ingest queue, and a single drain
+task that applies event batches and answers queries **in arrival
+order**. That ordering is the whole consistency story:
+
+* any number of connections may feed the same tenant — their batches
+  interleave at enqueue time and are applied serially, so the session
+  is always in a state some serial event order produced;
+* a query enqueued behind a batch is answered only after that batch is
+  applied, giving the same FIFO-barrier semantics the pipeline's
+  control channel provides over pipes.
+
+The queue is **bounded** (``queue_depth`` batches): when a tenant's
+producers outrun its drain task, ``enqueue_events`` suspends, the
+server stops reading that connection's socket, and the kernel's TCP
+flow control pushes back on the producer. Other tenants have their own
+queues and drain tasks and are unaffected — a slow or stalled tenant
+can never wedge the daemon.
+
+Durability rides on :mod:`repro.persist`: a session with a checkpoint
+path wraps its clusterer in a
+:class:`~repro.persist.PeriodicCheckpointer` (periodic saves at exact
+event positions, atomic rename) and writes a final checkpoint at
+graceful shutdown, so ``repro cluster --resume`` can pick the stream up
+exactly where the service left it.
+
+Per-tenant SLO instruments are registered in the default obs registry
+under ``serve.tenant.<id>.*`` (see ``docs/service.md`` for the
+catalog); :meth:`TenantSession.metrics` renders the operator view —
+events/s, p99 ingest latency, queue lag, drops — as a JSON-able dict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+import warnings
+from typing import List, Optional
+
+from repro.core.clusterer import StreamingGraphClusterer
+from repro.core.config import ClustererConfig
+from repro.core.pipeline import PipelineClusterer
+from repro.core.sharded import ShardedClusterer
+from repro.errors import CheckpointError, ServiceError
+from repro.obs import metrics as _obs
+from repro.persist import PeriodicCheckpointer, load_checkpoint
+from repro.streams.events import RawEvent
+
+__all__ = ["TenantSession"]
+
+#: Queue item tags. Events and queries share one FIFO queue, which is
+#: what makes every query a barrier over previously accepted events.
+_EVENTS = 0
+_QUERY = 1
+_STOP = 2
+
+
+class TenantSession:
+    """One tenant's clusterer, ingest queue, drain task, and metrics.
+
+    Construct, then ``await start()`` from the server's event loop.
+    ``enqueue_events`` and ``query`` are the only entry points
+    connections use; ``close`` drains the queue, writes the final
+    checkpoint, and reaps pipeline workers.
+    """
+
+    def __init__(
+        self,
+        tenant_id: str,
+        config: ClustererConfig,
+        *,
+        queue_depth: int = 64,
+        workers: int = 0,
+        batch_size: int = 1024,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 0,
+        resume: bool = False,
+        ingest_delay: float = 0.0,
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.config = config
+        self.workers = int(workers)
+        self.checkpoint_path = checkpoint_path
+        self._ingest_delay = ingest_delay  # testing aid: slow this tenant's drain
+        self._closing = False
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        self._task: Optional[asyncio.Task] = None
+        self.pending_events = 0  # queued but not yet applied (queue lag)
+        self.events_applied = 0
+        self.batches_applied = 0
+        self.drops = 0
+        self.apply_errors = 0
+        self._started = time.monotonic()
+        self._checkpointer: Optional[PeriodicCheckpointer] = None
+        self.resumed_position = 0
+
+        if resume and checkpoint_path and os.path.exists(checkpoint_path):
+            restored = load_checkpoint(checkpoint_path)
+            clusterer = restored.clusterer
+            self.resumed_position = restored.position
+            if self.workers:
+                if not isinstance(clusterer, ShardedClusterer):
+                    raise CheckpointError(
+                        f"{checkpoint_path} holds a "
+                        f"{type(clusterer).__name__} checkpoint; a "
+                        "worker-backed tenant resumes sharded checkpoints "
+                        "only"
+                    )
+                if clusterer.num_shards != self.workers:
+                    raise CheckpointError(
+                        f"{checkpoint_path}: checkpoint has "
+                        f"{clusterer.num_shards} shards, service runs "
+                        f"{self.workers} workers per tenant"
+                    )
+                clusterer = PipelineClusterer.from_state(
+                    clusterer.get_state(), batch_events=batch_size
+                )
+            elif not isinstance(clusterer, StreamingGraphClusterer):
+                raise CheckpointError(
+                    f"{checkpoint_path} holds a {type(clusterer).__name__} "
+                    "checkpoint; this service runs single-clusterer tenants "
+                    "(restart with --workers)"
+                )
+            self._check_resume_config(clusterer.config, config, checkpoint_path)
+            self.clusterer = clusterer
+            self._checkpointer = PeriodicCheckpointer(
+                clusterer,
+                checkpoint_path,
+                every=checkpoint_every,
+                position=restored.position,
+                save_initial=False,
+            )
+        else:
+            if self.workers:
+                self.clusterer = PipelineClusterer(
+                    config, self.workers, batch_events=batch_size
+                )
+            else:
+                self.clusterer = StreamingGraphClusterer(config)
+            if checkpoint_path:
+                self._checkpointer = PeriodicCheckpointer(
+                    self.clusterer, checkpoint_path, every=checkpoint_every
+                )
+
+        # SLO instruments live in the process registry so --metrics-out
+        # snapshots carry every tenant; METRICS replies read the same
+        # objects, so the two views can never disagree.
+        registry = _obs.default_registry()
+        prefix = f"serve.tenant.{tenant_id}."
+        self._events_counter = registry.counter(prefix + "events")
+        self._drops_counter = registry.counter(prefix + "drops")
+        self._lag_gauge = registry.gauge(prefix + "queue_lag_events")
+        self._ingest_hist = registry.histogram(prefix + "ingest_seconds")
+
+    @staticmethod
+    def _check_resume_config(
+        restored: ClustererConfig, requested: ClustererConfig, path: str
+    ) -> None:
+        """Refuse to resume a checkpoint under a conflicting service
+        config — the same policy (and field list) as the CLI's
+        ``--resume`` guard."""
+        from repro.cli import _resume_config_mismatches
+
+        mismatches = _resume_config_mismatches(restored, requested)
+        if mismatches:
+            raise CheckpointError(
+                f"{path}: cannot resume tenant checkpoint under a "
+                "conflicting service configuration: " + "; ".join(mismatches)
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "TenantSession":
+        """Start the drain task (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain(), name=f"drain:{self.tenant_id}"
+            )
+        return self
+
+    async def close(self, *, checkpoint: bool = True) -> None:
+        """Drain everything already accepted, then stop (idempotent).
+
+        The stop sentinel queues *behind* all accepted items, so every
+        event and query admitted before the shutdown began is applied
+        or answered. With ``checkpoint`` a final state save follows, so
+        the checkpoint on disk reflects exactly the drained stream.
+        """
+        if self._closing and self._task is None:
+            return
+        self._closing = True
+        task = self._task
+        self._task = None
+        if task is not None:
+            await self._queue.put((_STOP,))
+            await task
+        if checkpoint and self._checkpointer is not None:
+            await asyncio.to_thread(self._checkpointer.save)
+        if isinstance(self.clusterer, PipelineClusterer):
+            dropped_before = self.clusterer.dropped_events
+            await asyncio.to_thread(self.clusterer.close)
+            self._note_drops(self.clusterer.dropped_events - dropped_before)
+
+    # ------------------------------------------------------------------
+    # Ingest + queries (called from connection handlers)
+    # ------------------------------------------------------------------
+    async def enqueue_events(self, events: List[RawEvent]) -> None:
+        """Queue one decoded batch; suspends when the queue is full.
+
+        The suspension is the backpressure mechanism: the caller is a
+        connection's read loop, so a full queue stops socket reads and
+        TCP flow control reaches the producer.
+        """
+        if self._closing:
+            raise ServiceError(
+                f"tenant {self.tenant_id!r} is shutting down; events refused"
+            )
+        if not events:
+            return
+        self.pending_events += len(events)
+        self._lag_gauge.set(self.pending_events)
+        await self._queue.put((_EVENTS, events, time.monotonic()))
+
+    async def query(self, op: bytes, payload: bytes) -> bytes:
+        """Enqueue a barrier query; resolves with the reply payload."""
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put((_QUERY, op, payload, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    # Drain task
+    # ------------------------------------------------------------------
+    def _apply(self, events: List[RawEvent]) -> None:
+        """Apply one batch (runs in a worker thread)."""
+        if self._checkpointer is not None:
+            self._checkpointer.apply_many(events)
+        else:
+            self.clusterer.apply_many(events)
+
+    async def _drain(self) -> None:
+        queue = self._queue
+        while True:
+            item = await queue.get()
+            tag = item[0]
+            try:
+                if tag == _EVENTS:
+                    events = item[1]
+                    if self._ingest_delay:
+                        await asyncio.sleep(self._ingest_delay)
+                    try:
+                        await asyncio.to_thread(self._apply, events)
+                        self.events_applied += len(events)
+                        self.batches_applied += 1
+                        self._events_counter.inc(len(events))
+                        self._ingest_hist.observe(time.monotonic() - item[2])
+                    except Exception as error:  # noqa: BLE001 - session must survive
+                        # A failed batch is *lost*, not silently absorbed:
+                        # account it and warn, mirroring the pipeline's
+                        # degradation contract.
+                        self._note_drops(len(events))
+                        self.apply_errors += 1
+                        warnings.warn(
+                            f"tenant {self.tenant_id!r}: dropped batch of "
+                            f"{len(events)} event(s) after apply failure "
+                            f"({type(error).__name__}: {error})",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                    finally:
+                        self.pending_events -= len(events)
+                        self._lag_gauge.set(self.pending_events)
+                elif tag == _QUERY:
+                    _, op, payload, future = item
+                    if not future.done():
+                        try:
+                            result = await asyncio.to_thread(
+                                self._answer, op, payload
+                            )
+                        except Exception as error:  # noqa: BLE001
+                            future.set_exception(
+                                ServiceError(
+                                    f"query failed: "
+                                    f"{type(error).__name__}: {error}"
+                                )
+                            )
+                        else:
+                            future.set_result(result)
+                else:  # _STOP
+                    return
+            finally:
+                queue.task_done()
+
+    def _answer(self, op: bytes, payload: bytes) -> bytes:
+        """Compute one query reply (runs in a worker thread)."""
+        from repro.serve.protocol import (
+            OP_MEMBERSHIP,
+            OP_METRICS,
+            OP_SNAPSHOT,
+            render_membership,
+            render_snapshot,
+        )
+
+        if op == OP_SNAPSHOT:
+            return render_snapshot(self.clusterer.snapshot()).encode("utf-8")
+        if op == OP_MEMBERSHIP:
+            token = payload.decode("utf-8")
+            try:
+                vertex: object = int(token)
+            except ValueError:
+                vertex = token
+            members = self.clusterer.cluster_members(vertex)
+            return render_membership(members).encode("utf-8")
+        if op == OP_METRICS:
+            import json
+
+            return json.dumps(self.metrics(), sort_keys=True).encode("utf-8")
+        raise ServiceError(f"unknown query opcode {op!r}")
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _note_drops(self, count: int) -> None:
+        if count > 0:
+            self.drops += count
+            self._drops_counter.inc(count)
+
+    @property
+    def position(self) -> int:
+        """Stream position: resumed offset + events applied here."""
+        if self._checkpointer is not None:
+            return self._checkpointer.position
+        return self.resumed_position + self.events_applied
+
+    def metrics(self) -> dict:
+        """The tenant's SLO view as a JSON-able dict.
+
+        Answered through the queue like any barrier query, so the
+        numbers reflect every event accepted before the request.
+        """
+        elapsed = max(time.monotonic() - self._started, 1e-9)
+        p99 = self._ingest_hist.quantile(0.99)
+        info = {
+            "tenant": self.tenant_id,
+            "events": self.events_applied,
+            "position": self.position,
+            "events_per_second": self.events_applied / elapsed,
+            "queue_lag_events": self.pending_events,
+            "drops": self.drops,
+            "apply_errors": self.apply_errors,
+            # None = the p99 fell in the histogram's overflow bucket
+            # (no finite upper bound on the grid); JSON has no Infinity.
+            "p99_ingest_seconds": p99 if p99 != float("inf") else None,
+            "mean_ingest_seconds": self._ingest_hist.mean,
+            "clusters": self.clusterer.snapshot().num_clusters,
+        }
+        if isinstance(self.clusterer, StreamingGraphClusterer):
+            info["reservoir_size"] = self.clusterer.reservoir_size
+        else:
+            info["reservoir_size"] = self.clusterer.total_reservoir_size
+        if self._checkpointer is not None:
+            info["checkpoint"] = {
+                "path": str(self._checkpointer.path),
+                "saves": self._checkpointer.saves,
+                "last_saved_position": self._checkpointer.last_saved_position,
+            }
+        return info

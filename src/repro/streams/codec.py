@@ -54,6 +54,28 @@ order the sequential batch path would assign them, so a pipeline worker
 applies edge runs as already-interned id tuples with zero label
 rehydration on its hot path (see
 ``StreamingGraphClusterer.apply_interned_many``).
+
+:class:`DeltaBatchDecoder` is the interner-free sibling for consumers
+that live *outside* a clusterer process — the streaming service
+(:mod:`repro.serve`) decodes client frames at the socket boundary into
+plain raw ``(kind, u, v)`` label tuples and only then routes them onto
+a tenant session.
+
+Wire layer
+----------
+The same frames also travel over sockets (:mod:`repro.serve`). The wire
+layer below adds what a byte stream needs that a pipe does not: an
+explicit **length prefix** per message and a **handshake** that pins the
+protocol version and names the tenant before any frame is accepted::
+
+    message   := u32 length | u8 opcode | payload        (length = 1 + len(payload))
+    handshake := HELLO payload: 4-byte magic "RPRW", u8 wire version,
+                 u16 tenant-id byte length, tenant id (utf-8)
+
+:func:`pack_wire_message` / :func:`split_wire_message` and
+:func:`encode_hello` / :func:`decode_hello` are transport-agnostic pure
+byte functions; blocking and asyncio readers live in
+:mod:`repro.serve.protocol`.
 """
 
 from __future__ import annotations
@@ -67,15 +89,34 @@ __all__ = [
     "CODEC_VERSION",
     "DELTA_CODEC_VERSION",
     "DEFAULT_MAX_FRAME_BYTES",
+    "DEFAULT_MAX_WIRE_BYTES",
+    "DeltaBatchDecoder",
     "FrameDecoder",
     "FrameEncoder",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
     "decode_batch",
+    "decode_hello",
     "encode_batch",
     "encode_batches",
+    "encode_hello",
+    "pack_wire_message",
+    "split_wire_message",
 ]
 
 CODEC_VERSION = 1
 DELTA_CODEC_VERSION = 2
+
+#: First bytes of every service handshake — lets a server refuse a
+#: client speaking the wrong protocol before parsing anything else.
+WIRE_MAGIC = b"RPRW"
+WIRE_VERSION = 1
+
+#: Default per-message ceiling a service enforces on the wire. Larger
+#: than the pipe-frame default (a TCP client may batch aggressively)
+#: but still small enough that one hostile length prefix cannot make
+#: the server allocate gigabytes.
+DEFAULT_MAX_WIRE_BYTES = 4 * 1024 * 1024
 
 #: Default frame-size ceiling for :func:`encode_batches`. Frames are
 #: also pipe messages, so keeping them well under the OS pipe buffer
@@ -100,6 +141,7 @@ _EDGE_CODES = frozenset(
 )
 
 _U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
 _S64_ENTRY = struct.Struct("<bq")
 _HEADER = struct.Struct("<BI")
 
@@ -550,3 +592,152 @@ class FrameDecoder:
         if run:
             segments.append(run)
         return segments
+
+
+class DeltaBatchDecoder:
+    """Stateful version-2 frame reader that yields raw label tuples.
+
+    The interner-free counterpart of :class:`FrameDecoder`: it mirrors a
+    :class:`FrameEncoder`'s cumulative vertex table but performs no
+    interning and no segmentation — :meth:`decode` returns the frame's
+    events as plain ``(kind, u, v)`` label tuples, exactly what
+    ``StreamingGraphClusterer.apply_many`` ingests. The streaming
+    service decodes client frames with one of these per connection, so
+    the session layer never sees wire bytes.
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Optional[Iterable] = None) -> None:
+        self._labels: List = list(labels) if labels is not None else []
+
+    @property
+    def table_size(self) -> int:
+        """Cumulative vertex-table entry count."""
+        return len(self._labels)
+
+    def decode(self, data: bytes) -> List[RawEvent]:
+        """Decode one delta frame into raw event tuples (table grows)."""
+        try:
+            version, new_count = _HEADER.unpack_from(data, 0)
+        except struct.error:
+            raise ValueError("corrupt event frame: truncated header") from None
+        if version != DELTA_CODEC_VERSION:
+            raise ValueError(
+                f"corrupt event frame: unsupported delta codec version "
+                f"{version} (this decoder reads {DELTA_CODEC_VERSION})"
+            )
+        labels = self._labels
+        offset = _HEADER.size
+        fresh: List[object] = []
+        try:
+            offset = _decode_entries(data, offset, new_count, fresh)
+            (count,) = _U32.unpack_from(data, offset)
+            offset += 4
+            flat = struct.unpack_from(f"<{3 * count}I", data, offset)
+        except (struct.error, IndexError, UnicodeDecodeError) as error:
+            raise ValueError(f"corrupt event frame: {error}") from None
+        if offset + 12 * count != len(data):
+            raise ValueError(
+                f"corrupt event frame: {len(data) - offset - 12 * count} "
+                "trailing bytes"
+            )
+        labels.extend(fresh)
+        table_count = len(labels)
+        kinds = _KINDS
+        edge_codes = _EDGE_CODES
+        no_vertex = _NO_VERTEX
+        events: List[RawEvent] = []
+        append = events.append
+        for i in range(0, 3 * count, 3):
+            code, u_index, v_index = flat[i], flat[i + 1], flat[i + 2]
+            if code >= len(kinds):
+                raise ValueError(f"corrupt event frame: unknown kind code {code}")
+            if u_index >= table_count:
+                raise ValueError(
+                    f"corrupt event frame: vertex index {u_index} out of range"
+                )
+            if code in edge_codes:
+                if v_index >= table_count:
+                    raise ValueError(
+                        "corrupt event frame: edge event with missing or "
+                        f"out-of-range endpoint index {v_index}"
+                    )
+                append((kinds[code], labels[u_index], labels[v_index]))
+            else:
+                if v_index != no_vertex:
+                    raise ValueError(
+                        "corrupt event frame: vertex event carries a second "
+                        "endpoint"
+                    )
+                append((kinds[code], labels[u_index], None))
+        return events
+
+
+# ----------------------------------------------------------------------
+# Wire layer (length-prefixed messages + handshake)
+# ----------------------------------------------------------------------
+def pack_wire_message(op: bytes, payload: bytes = b"") -> bytes:
+    """One length-prefixed wire message: ``u32 length | op | payload``.
+
+    ``op`` must be a single byte; the length counts the opcode plus the
+    payload, so a reader can bound its allocation before reading either.
+    """
+    if len(op) != 1:
+        raise ValueError(f"wire opcode must be a single byte, got {op!r}")
+    return _U32.pack(1 + len(payload)) + op + payload
+
+
+def split_wire_message(body: bytes) -> Tuple[bytes, bytes]:
+    """Split a received message body into ``(opcode, payload)``.
+
+    ``body`` is everything after the length prefix. An empty body is a
+    framing error (the length prefix promised at least the opcode).
+    """
+    if not body:
+        raise ValueError("corrupt wire message: empty body")
+    return body[:1], body[1:]
+
+
+def encode_hello(tenant_id: str) -> bytes:
+    """The HELLO handshake payload naming ``tenant_id``."""
+    raw = tenant_id.encode("utf-8")
+    if not raw or len(raw) > 0xFFFF:
+        raise ValueError(
+            f"tenant id must encode to 1..65535 utf-8 bytes, got {len(raw)}"
+        )
+    return WIRE_MAGIC + bytes((WIRE_VERSION,)) + _U16.pack(len(raw)) + raw
+
+
+def decode_hello(payload: bytes) -> str:
+    """Validate a HELLO payload; returns the tenant id.
+
+    Raises ``ValueError`` for a wrong magic, an unsupported wire
+    version, or a malformed/truncated tenant id — the server rejects
+    the connection before touching any session state.
+    """
+    prefix = len(WIRE_MAGIC)
+    if payload[:prefix] != WIRE_MAGIC:
+        raise ValueError(
+            f"bad handshake: expected magic {WIRE_MAGIC!r}, "
+            f"got {payload[:prefix]!r}"
+        )
+    if len(payload) < prefix + 3:
+        raise ValueError("bad handshake: truncated header")
+    version = payload[prefix]
+    if version != WIRE_VERSION:
+        raise ValueError(
+            f"bad handshake: unsupported wire version {version} "
+            f"(this build speaks {WIRE_VERSION})"
+        )
+    (length,) = _U16.unpack_from(payload, prefix + 1)
+    raw = payload[prefix + 3 :]
+    if len(raw) != length or not raw:
+        raise ValueError(
+            f"bad handshake: tenant id length {length} does not match "
+            f"{len(raw)} payload bytes"
+        )
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError:
+        raise ValueError("bad handshake: tenant id is not valid utf-8") from None

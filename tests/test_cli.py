@@ -1,8 +1,10 @@
 """End-to-end tests for the command-line interface."""
 
 import os
+import signal
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -480,3 +482,48 @@ class TestCheckpointResume:
         assert score.returncode == 0
         assert "nmi: 1.0000" in score.stdout
         assert "ari: 1.0000" in score.stdout
+
+
+class TestInterrupt:
+    """Ctrl-C must exit 130 (128 + SIGINT) without a traceback."""
+
+    def _interrupt(self, *extra, warmup=1.5):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "cluster", "/dev/stdin",
+                "--capacity", "100", *map(str, extra),
+            ],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, env=env, text=True,
+        )
+        try:
+            # Feed a few edges but keep stdin open so the run blocks
+            # mid-stream when the signal lands.
+            proc.stdin.write("1 2\n2 3\n3 4\n")
+            proc.stdin.flush()
+            time.sleep(warmup)
+            proc.send_signal(signal.SIGINT)
+            _, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        return proc.returncode, err
+
+    @pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+    def test_sigint_exits_130(self):
+        code, err = self._interrupt()
+        assert code == 130, err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+    def test_sigint_reaps_pipeline_workers(self):
+        # The KeyboardInterrupt path still runs the finally block that
+        # closes the worker pool, so the process exits promptly instead
+        # of hanging on orphaned children.
+        code, err = self._interrupt(
+            "--parallel", "pipeline", "--workers", "2", warmup=4.0
+        )
+        assert code == 130, err
+        assert "Traceback" not in err

@@ -339,3 +339,27 @@ class TestInstrumentation:
             registry.gauge(f"sharded.shard_events.{i}").value for i in range(2)
         )
         assert total == 10
+
+
+class TestHistogramQuantile:
+    def test_quantile_walks_the_bucket_grid(self):
+        h = Histogram("demo.quantile", buckets=(0.1, 1.0, 5.0))
+        for value in [0.05] * 50 + [0.5] * 40 + [2.0] * 9:
+            h.observe(value)
+        h.observe(10.0)  # overflow
+        assert h.quantile(0.5) == 0.1
+        assert h.quantile(0.9) == 1.0
+        assert h.quantile(0.99) == 5.0
+        # The p100 falls in the overflow bucket: the grid has no upper
+        # bound for it.
+        assert h.quantile(1.0) == float("inf")
+
+    def test_quantile_of_empty_is_zero(self):
+        assert Histogram("demo.quantile").quantile(0.99) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        h = Histogram("demo.quantile")
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(-0.1)

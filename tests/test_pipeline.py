@@ -288,3 +288,51 @@ class TestLifecycle:
         with make_pipeline(2) as pipe:
             with pytest.raises(ValueError, match="self-loop"):
                 pipe.apply((EventKind.ADD_EDGE, 5, 5))
+
+
+class TestCloseAccounting:
+    """close() must not silently lose buffered events (drops + warning)."""
+
+    def _edge_stream(self, n=60):
+        graph = planted_partition(n, 3, p_in=0.4, p_out=0.02, seed=3)
+        return [(EventKind.ADD_EDGE, u, v) for u, v in graph.edges]
+
+    def test_close_accounts_buffer_stranded_on_degraded_shard(self):
+        stream = self._edge_stream()
+        with pytest.warns(RuntimeWarning, match="failed permanently"):
+            pipe = make_pipeline(
+                1,
+                batch_events=8,
+                fault=CrashShard(shard=0, fail_attempts=99),
+                supervisor=SupervisorConfig(
+                    timeout=20.0, max_attempts=2, backoff=0.01
+                ),
+            )
+            try:
+                # 21 events: two flushes hit the dead worker and degrade
+                # the shard (their drops are counted at flush time); the
+                # remaining tail is stranded in the producer buffer.
+                pipe.apply_many(stream[:21])
+                assert pipe._failed[0]
+                stranded = len(pipe._buffers[0])
+                assert stranded > 0
+                before = pipe.dropped_events
+                pipe.close()
+            finally:
+                pipe.close()
+        assert pipe.dropped_events == before + stranded
+
+    def test_close_counts_events_lost_on_broken_worker_pipe(self):
+        stream = self._edge_stream()
+        pipe = make_pipeline(1)  # default batch_events: nothing flushes
+        try:
+            pipe.apply_many(stream[:12])
+            assert pipe.dropped_events == 0
+            victim = pipe._procs[0]
+            victim.kill()
+            victim.join()
+            with pytest.warns(RuntimeWarning, match="failed while flushing"):
+                pipe.close()
+            assert pipe.dropped_events == 12
+        finally:
+            pipe.close()
