@@ -1,13 +1,16 @@
 """CI throughput smoke: fail on large ingestion-speed regressions.
 
 Runs a pinned-seed mini version of experiment E4 (a prefix of the
-dblp_like insert-only stream) through the per-event, batched and
-multiprocess-pipeline ingestion paths and compares events/sec against
-the committed baseline in ``bench_results/perf_smoke_baseline.json``:
+dblp_like insert-only stream) through the per-event, batched (scalar
+and numpy kernels) and multiprocess-pipeline ingestion paths and
+compares events/sec against the committed baseline in
+``bench_results/perf_smoke_baseline.json``:
 
 * a drop of more than ``TOLERANCE`` (30%) on any path fails the job;
 * the batched path must also keep a healthy machine-independent margin
-  over the per-event path (ratio check, immune to runner speed);
+  over the per-event path (ratio check, immune to runner speed), and
+  the numpy kernel a margin over the scalar batched path (the two are
+  measured as order-balanced back-to-back pairs);
 * the pipeline run (2 workers, spawn excluded from the clock) must end
   in exactly the partition sequential sharded execution reaches;
 * tracemalloc peak during a batched ingest must stay within
@@ -61,15 +64,20 @@ ROUNDS = 3  # best-of, to shed warmup and scheduler noise
 TOLERANCE = 0.30  # maximum allowed events/sec regression
 MEMORY_TOLERANCE = 0.20  # maximum allowed peak-ingest-memory growth
 MIN_BATCH_RATIO = 2.0  # batched must stay >= 2x per-event on any machine
+MIN_KERNEL_RATIO = 1.5  # numpy kernel must stay >= 1.5x the scalar batch
 PIPELINE_WORKERS = 2  # small pool: the smoke gates routing/framing cost
 METRICS_TOLERANCE = 0.03  # max throughput cost of the metrics layer
 OVERHEAD_EVENTS = 10000  # shorter prefix: relative sync cost is length-free
 OVERHEAD_ROUNDS = 20  # interleaved off/on round pairs for the overhead check
 
 
-def _ingest(events, capacity: int, batch_size: int | None) -> float:
+def _ingest(
+    events, capacity: int, batch_size: int | None, kernel: str = "scalar"
+) -> float:
     clusterer = StreamingGraphClusterer(
-        ClustererConfig(reservoir_capacity=capacity, strict=False, seed=SEED)
+        ClustererConfig(
+            reservoir_capacity=capacity, strict=False, seed=SEED, kernel=kernel
+        )
     )
     start = time.perf_counter()
     clusterer.process(events, batch_size=batch_size)
@@ -118,7 +126,18 @@ def measure() -> dict:
     raw = [(event.kind, event.u, event.v) for event in events]
     capacity = max(1, len(events) // 10)
     per_event = min(_ingest(events, capacity, None) for _ in range(ROUNDS))
-    batched = min(_ingest(raw, capacity, BATCH_SIZE) for _ in range(ROUNDS))
+    # Paired, order-balanced scalar/numpy batched rounds: each round
+    # times both kernels back to back and alternates which goes first,
+    # so the reported ratio survives machine-level drift.
+    _ingest(raw, capacity, BATCH_SIZE, kernel="numpy")  # numpy warmup
+    batched_times, numpy_times = [], []
+    for i in range(ROUNDS):
+        order = ("scalar", "numpy") if i % 2 == 0 else ("numpy", "scalar")
+        for kernel in order:
+            seconds = _ingest(raw, capacity, BATCH_SIZE, kernel=kernel)
+            (batched_times if kernel == "scalar" else numpy_times).append(seconds)
+    batched = min(batched_times)
+    numpy_kernel = min(numpy_times)
     _check_pipeline_partition(raw, capacity)
     pipeline = min(_ingest_pipeline(raw, capacity) for _ in range(ROUNDS))
     return {
@@ -129,6 +148,7 @@ def measure() -> dict:
         "pipeline_workers": PIPELINE_WORKERS,
         "per_event_events_per_sec": round(len(events) / per_event),
         "batched_events_per_sec": round(len(events) / batched),
+        "numpy_kernel_events_per_sec": round(len(events) / numpy_kernel),
         "pipeline_events_per_sec": round(len(events) / pipeline),
     }
 
@@ -214,6 +234,10 @@ def main(argv=None) -> int:
     print(f"per-event: {current['per_event_events_per_sec']:,} ev/s")
     print(f"batched (batch={BATCH_SIZE}): {current['batched_events_per_sec']:,} ev/s")
     print(
+        f"numpy kernel (batch={BATCH_SIZE}): "
+        f"{current['numpy_kernel_events_per_sec']:,} ev/s"
+    )
+    print(
         f"pipeline ({PIPELINE_WORKERS} workers): "
         f"{current['pipeline_events_per_sec']:,} ev/s"
     )
@@ -232,6 +256,7 @@ def main(argv=None) -> int:
     for key in (
         "per_event_events_per_sec",
         "batched_events_per_sec",
+        "numpy_kernel_events_per_sec",
         "pipeline_events_per_sec",
     ):
         floor = baseline[key] * (1.0 - TOLERANCE)
@@ -247,6 +272,16 @@ def main(argv=None) -> int:
     print(f"batched/per-event ratio: {ratio:.2f}x (floor {MIN_BATCH_RATIO}x)")
     if ratio < MIN_BATCH_RATIO:
         failures.append("batched/per-event ratio")
+
+    kernel_ratio = (
+        current["numpy_kernel_events_per_sec"] / current["batched_events_per_sec"]
+    )
+    print(
+        f"numpy/scalar kernel ratio: {kernel_ratio:.2f}x "
+        f"(floor {MIN_KERNEL_RATIO}x)"
+    )
+    if kernel_ratio < MIN_KERNEL_RATIO:
+        failures.append("numpy/scalar kernel ratio")
 
     ceiling = baseline["peak_ingest_bytes"] * (1.0 + MEMORY_TOLERANCE)
     status = "ok" if current["peak_ingest_bytes"] <= ceiling else "REGRESSION"

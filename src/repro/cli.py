@@ -111,6 +111,11 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=("hdt", "naive", "lazy"), default="hdt")
     parser.add_argument("--lean", action="store_true",
                         help="do not track the full graph (reservoir-only memory)")
+    parser.add_argument("--kernel", choices=("scalar", "numpy"), default="scalar",
+                        help="batch execution kernel: 'scalar' replays the "
+                             "per-event RNG bit-for-bit, 'numpy' draws whole "
+                             "batches vectorized (faster; distribution-"
+                             "equivalent, not bit-identical to scalar)")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -153,10 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--events", action="store_true",
                          help="input is a +/- event stream, not an edge list")
     _add_config_flags(cluster)
-    cluster.add_argument("--batch-size", type=_nonnegative_int, default=1024,
+    cluster.add_argument("--batch-size", type=_positive_int, default=1024,
                          metavar="N",
                          help="ingest events in batches of N through the fast "
-                              "path (0: per-event; default: 1024)")
+                              "path (default: 1024)")
     cluster.add_argument("--parallel", choices=("inline", "pool", "pipeline"),
                          help="shard the stream across --workers shards: "
                               "'inline' runs every shard sequentially in one "
@@ -344,6 +349,7 @@ _RESUME_CHECKED_FIELDS = (
     ("connectivity_backend", "--backend"),
     ("seed", "--seed"),
     ("track_graph", "--lean"),
+    ("kernel", "--kernel"),
     ("constraint", "--max-cluster-size/--min-clusters"),
 )
 
@@ -366,10 +372,8 @@ def _run_cluster(args: argparse.Namespace) -> int:
     from repro.errors import CheckpointError
     from repro.persist import PeriodicCheckpointer
     from repro.streams import (
-        insert_only_stream,
         insert_only_stream_raw,
         read_edge_list,
-        read_event_stream,
         read_event_stream_raw,
     )
 
@@ -380,6 +384,7 @@ def _run_cluster(args: argparse.Namespace) -> int:
         track_graph=not args.lean,
         strict=False,
         seed=args.seed,
+        kernel=args.kernel,
     )
     metrics_on = bool(args.metrics_out or args.progress_every)
     if metrics_on:
@@ -390,25 +395,19 @@ def _run_cluster(args: argparse.Namespace) -> int:
         obs.default_registry().reset()
         obs.enable()
     strict_io = not args.skip_malformed
-    batch_size = args.batch_size or None
+    batch_size = args.batch_size  # always >= 1 (parser-enforced)
     io_errors: List[str] = []
     # With batching, events stay raw (kind, u, v) tuples end to end;
     # apply_many canonicalizes in bulk. Either way the stream describes
     # the same updates and yields the same clustering.
     if args.events:
-        if batch_size:
-            stream = read_event_stream_raw(
-                args.input, strict=strict_io, errors=io_errors,
-                intern=args.parallel == "pipeline",
-            )
-        else:
-            stream = read_event_stream(args.input, strict=strict_io, errors=io_errors)
+        stream = read_event_stream_raw(
+            args.input, strict=strict_io, errors=io_errors,
+            intern=args.parallel == "pipeline",
+        )
     else:
         edges = read_edge_list(args.input, strict=strict_io, errors=io_errors)
-        if batch_size:
-            stream = insert_only_stream_raw(edges, seed=args.seed)
-        else:
-            stream = insert_only_stream(edges, seed=args.seed)
+        stream = insert_only_stream_raw(edges, seed=args.seed)
 
     if args.parallel == "pool" and args.checkpoint:
         raise CheckpointError(
@@ -455,7 +454,7 @@ def _run_cluster(args: argparse.Namespace) -> int:
             # Re-home the restored shards onto persistent workers; the
             # checkpointer keeps saving the (format-identical) state.
             clusterer = PipelineClusterer.from_state(
-                clusterer.get_state(), batch_events=batch_size or 1024
+                clusterer.get_state(), batch_events=batch_size
             )
             checkpointer.clusterer = clusterer
         stream = checkpointer.remaining(stream)
@@ -468,7 +467,7 @@ def _run_cluster(args: argparse.Namespace) -> int:
             clusterer = ShardedClusterer(config, num_shards=args.workers)
         elif args.parallel == "pipeline":
             clusterer = PipelineClusterer(
-                config, args.workers, batch_events=batch_size or 1024
+                config, args.workers, batch_events=batch_size
             )
         elif args.parallel == "pool":
             clusterer = None  # the batch driver builds its own shards
@@ -552,6 +551,9 @@ def _run_cluster(args: argparse.Namespace) -> int:
             from repro import obs
 
             if clusterer is not None:
+                # Settle any deferred kernel stat estimates before the dump
+                # (pipeline/sharded wrappers settle inside sync_metrics).
+                getattr(clusterer, "stats", None)
                 clusterer.sync_metrics()
             obs.default_registry().write_json(args.metrics_out)
             print(f"metrics written to {args.metrics_out}", file=sys.stderr)
@@ -574,6 +576,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         track_graph=not args.lean,
         strict=False,
         seed=args.seed,
+        kernel=args.kernel,
     )
     if args.metrics_out:
         from repro import obs

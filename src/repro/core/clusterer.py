@@ -64,7 +64,7 @@ from repro.connectivity import make_connectivity
 from repro.connectivity.offline import resolve_sample_timeline
 from repro.obs import metrics as _obs
 from repro.connectivity.union_find import UnionFind
-from repro.core.config import ClustererConfig, DeletionPolicy
+from repro.core.config import ClustererConfig, DeletionPolicy, normalize_config
 from repro.core.constraints import Unconstrained
 from repro.errors import StreamError, UnsupportedOperationError
 from repro.graph.adjacency import AdjacencyGraph
@@ -74,6 +74,7 @@ from repro.sampling.random_pairing import NOT_ADMITTED, PackedEdgeReservoir
 from repro.streams.events import (
     Edge,
     EdgeEvent,
+    EventColumns,
     EventKind,
     RawEvent,
     Vertex,
@@ -88,7 +89,12 @@ AnyEvent = Union[EdgeEvent, RawEvent]
 #: Checkpoint format emitted by :meth:`StreamingGraphClusterer.get_state`.
 #: Format 2 added the intern table and packed reservoir keys; format-1
 #: states (no ``"format"`` key) still load via a compatibility path.
+#: Format 3 (emitted only by ``kernel="numpy"`` configurations, so the
+#: scalar default stays byte-identical) additionally carries the numpy
+#: kernel's PCG64 bitstream state inside the reservoir state; the loader
+#: accepts all three.
 STATE_FORMAT = 2
+STATE_FORMAT_NUMPY = 3
 
 _MASK32 = 0xFFFFFFFF
 
@@ -131,15 +137,20 @@ class StreamingGraphClusterer:
     """
 
     def __init__(self, config: ClustererConfig) -> None:
-        self.config = config
-        self.stats = ClustererStats()
+        self.config = config = normalize_config(config)
+        # The vectorized batch kernel (bound below for kernel="numpy")
+        # settles its lazily-maintained pieces through the ``stats``
+        # property and the ``apply`` sync hook; scalar configurations
+        # never pay more than this None check.
+        self._kernel = None
+        self._stats = ClustererStats()
         # Label ↔ dense-id table shared by every structure below. Edge
         # keys pack the two endpoint ids into one int, canonical by *id*
         # order internally; label-canonical orientation is recomputed
         # only when edges are externalized.
         self._intern = VertexInterner()
-        self._reservoir: PackedEdgeReservoir = PackedEdgeReservoir(
-            config.reservoir_capacity, seed=child_seed(config.seed, "reservoir")
+        self._reservoir: PackedEdgeReservoir = self._make_reservoir(
+            child_seed(config.seed, "reservoir")
         )
         self._conn = make_connectivity(
             config.connectivity_backend, seed=child_seed(config.seed, "connectivity")
@@ -197,6 +208,17 @@ class StreamingGraphClusterer:
         #: batch fell back to the offline divide-and-conquer resolver.
         self.probe_budget_hits = 0
         self.offline_resolves = 0
+        #: Probe counters for the numpy batch kernel (not persisted):
+        #: vectorized runs executed, events they consumed, and events
+        #: that fell back to the per-event path while the kernel was
+        #: configured (deletions, vertex events, non-int labels).
+        self.kernel_batches = 0
+        self.kernel_events = 0
+        self.kernel_fallback_events = 0
+        # Bumped whenever the connectivity vertex universe changes
+        # outside the batch kernel, invalidating its registration
+        # bitmap (see batchkernel._registration_bitmap).
+        self._conn_epoch = 0
         #: Monotone counter of structural invalidations (sampled edge
         #: set or vertex universe changed since the last extraction
         #: cache build). Ensemble drivers compare version vectors to
@@ -206,6 +228,32 @@ class StreamingGraphClusterer:
         # Last counter values published to the metrics registry, so
         # sync_metrics() emits exact deltas (see repro.obs).
         self._metrics_last: Dict[str, int] = {}
+        if config.kernel == "numpy":
+            from repro.core.batchkernel import NumpyBatchKernel
+
+            self._kernel = NumpyBatchKernel(self)
+
+    def _make_reservoir(self, seed: int) -> PackedEdgeReservoir:
+        """Reservoir matching the configured kernel (scalar MT / numpy PCG64)."""
+        if self.config.kernel == "numpy":
+            from repro.sampling.vectorized import NumpyPackedEdgeReservoir
+
+            return NumpyPackedEdgeReservoir(
+                self.config.reservoir_capacity, seed=seed
+            )
+        return PackedEdgeReservoir(self.config.reservoir_capacity, seed=seed)
+
+    @property
+    def stats(self) -> ClustererStats:
+        """Work counters; reading settles any pending kernel estimates."""
+        kernel = self._kernel
+        if kernel is not None and kernel.stats_pending:
+            kernel.settle_stats()
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: ClustererStats) -> None:
+        self._stats = value
 
     # ------------------------------------------------------------------
     # Stream consumption
@@ -214,6 +262,8 @@ class StreamingGraphClusterer:
         """Process one stream event."""
         if self._conn_stale:
             self._flush_conn()
+        if self._kernel is not None:
+            self._kernel.sync()
         self.stats.events += 1
         kind = event.kind
         if kind is EventKind.ADD_EDGE:
@@ -244,11 +294,14 @@ class StreamingGraphClusterer:
         they are rare still batch well. Returns self for chaining.
         """
         config = self.config
+        columns = type(events) is EventColumns
         if (
             config.deletion_policy is not DeletionPolicy.RANDOM_PAIRING
             or type(config.constraint) is not Unconstrained
             or not getattr(config, "batch_fast_path", True)
         ):
+            if columns:
+                events = events.to_events()
             for event in events:
                 if type(event) is tuple:
                     event = EdgeEvent(event[0], event[1], event[2])
@@ -256,6 +309,17 @@ class StreamingGraphClusterer:
             if _obs._ENABLED:
                 self.sync_metrics()
             return self
+        kernel = self._kernel
+        if kernel is not None:
+            if columns:
+                kernel.apply_columns(events.kinds, events.us, events.vs)
+            else:
+                kernel.apply_stream(events)
+            if _obs._ENABLED:
+                self.sync_metrics()
+            return self
+        if columns:
+            events = events.to_events()
         iterator = iter(events)
         while True:
             barrier = self._apply_edge_batch(iterator)
@@ -286,6 +350,11 @@ class StreamingGraphClusterer:
             label_of = self._intern.label_of
             for kind, uid, vid in events:
                 self.apply(EdgeEvent(kind, label_of(uid), label_of(vid)))
+            if _obs._ENABLED:
+                self.sync_metrics()
+            return self
+        if self._kernel is not None:
+            self._kernel.apply_interned(events)
             if _obs._ENABLED:
                 self.sync_metrics()
             return self
@@ -995,6 +1064,7 @@ class StreamingGraphClusterer:
             conn_ids.add(vid)
             fresh = True
         if fresh:
+            self._conn_epoch += 1
             self._invalidate()
         key = (uid << 32) | vid if uid < vid else (vid << 32) | uid
         proposal = self._reservoir.propose_insert(key)
@@ -1055,6 +1125,7 @@ class StreamingGraphClusterer:
         if uid not in self._conn_ids:
             self._conn.add_vertex(uid)
             self._conn_ids.add(uid)
+            self._conn_epoch += 1
             self._invalidate()
 
     def _on_delete_vertex(self, v: Vertex) -> None:
@@ -1086,6 +1157,7 @@ class StreamingGraphClusterer:
                     self.stats.component_splits += 1
         if self._conn.remove_vertex_if_isolated(uid):
             self._conn_ids.discard(uid)
+            self._conn_epoch += 1
         self._maybe_resample()
 
     def _malformed(self, message: str) -> None:
@@ -1114,15 +1186,15 @@ class StreamingGraphClusterer:
         self._conn_stale = False
         self._conn_diff.clear()
         self._conn_fresh.clear()
-        self._reservoir = PackedEdgeReservoir(
-            self.config.reservoir_capacity,
-            seed=child_seed(self.config.seed, "reservoir", self.stats.resamples),
+        self._reservoir = self._make_reservoir(
+            child_seed(self.config.seed, "reservoir", self.stats.resamples)
         )
         self._conn = make_connectivity(
             self.config.connectivity_backend,
             seed=child_seed(self.config.seed, "connectivity", self.stats.resamples),
         )
         self._lazy_dirty = bool(getattr(self._conn, "dirty", False))
+        self._conn_epoch += 1
         conn_ids = self._conn_ids
         conn_ids.clear()
         for vid in self._graph.vertex_ids():
@@ -1187,6 +1259,8 @@ class StreamingGraphClusterer:
         """
         if self._conn_stale:
             self._flush_conn()
+        if self._kernel is not None:
+            self._kernel.settle_stats()
         extern_key = self._extern_key
         reservoir_state = self._reservoir.get_state()
         reservoir_state["items"] = [
@@ -1194,7 +1268,9 @@ class StreamingGraphClusterer:
         ]
         label_of = self._intern.label_of
         return {
-            "format": STATE_FORMAT,
+            "format": STATE_FORMAT
+            if self.config.kernel == "scalar"
+            else STATE_FORMAT_NUMPY,
             "config": self.config,
             "stats": self.stats.as_dict(),
             "intern": self._intern.labels(),
@@ -1221,7 +1297,13 @@ class StreamingGraphClusterer:
         ids are internal and unobservable — though its future
         checkpoints are emitted in format 2.
         """
-        config: ClustererConfig = state["config"]
+        config: ClustererConfig = normalize_config(state["config"])
+        if state.get("format", 1) >= 3 and config.kernel != "numpy":
+            raise ValueError(
+                "corrupt clusterer state: format-3 checkpoints are only "
+                "written by the numpy kernel, but the embedded config "
+                f"says kernel={config.kernel!r}"
+            )
         clusterer = cls(config)
         clusterer.stats = ClustererStats(**state["stats"])
         intern = clusterer._intern
@@ -1258,7 +1340,16 @@ class StreamingGraphClusterer:
                 (uid << 32) | vid if uid < vid else (vid << 32) | uid
             )
         reservoir_state["items"] = packed_items
-        clusterer._reservoir = PackedEdgeReservoir.from_state(reservoir_state)
+        if config.kernel == "numpy":
+            from repro.sampling.vectorized import NumpyPackedEdgeReservoir
+
+            clusterer._reservoir = NumpyPackedEdgeReservoir.from_state(
+                reservoir_state, id_limit=len(intern)
+            )
+        else:
+            clusterer._reservoir = PackedEdgeReservoir.from_state(
+                reservoir_state, id_limit=len(intern)
+            )
         adj = clusterer._sample_adj
         for key in clusterer._reservoir:
             ku = key >> 32
@@ -1288,6 +1379,7 @@ class StreamingGraphClusterer:
         if state.get("conn_dirty") and hasattr(conn, "mark_dirty"):
             conn.mark_dirty()
         clusterer._conn = conn
+        clusterer._conn_epoch += 1
         clusterer._lazy_dirty = bool(getattr(conn, "dirty", False))
         clusterer._rebuild_rng = make_rng(0)
         clusterer._rebuild_rng.setstate(state["rebuild_rng_state"])
@@ -1451,6 +1543,9 @@ class StreamingGraphClusterer:
         "partition_builds",
         "probe_budget_hits",
         "offline_resolves",
+        "kernel_batches",
+        "kernel_events",
+        "kernel_fallback_events",
     )
 
     def sync_metrics(self) -> None:
@@ -1467,7 +1562,12 @@ class StreamingGraphClusterer:
         registry = _obs.default_registry()
         counter = registry.counter
         last = self._metrics_last
-        stats = self.stats
+        # Read the raw stats, NOT the settling ``stats`` property: forcing
+        # the numpy kernel to settle its merge/split estimates on every
+        # batch-boundary sync would defeat the deferred-settlement design.
+        # The kernel's interval-granular deltas flow into the counters at
+        # the next sync after a true settlement point instead.
+        stats = self._stats
         for name in self._METRIC_STAT_FIELDS:
             value = getattr(stats, name)
             prev = last.get(name, 0)
@@ -1510,6 +1610,8 @@ class StreamingGraphClusterer:
         refactor shrank. An accounting estimate for E10-style
         comparisons, not an allocator-exact figure.
         """
+        if self._kernel is not None:
+            self._kernel.sync()
         reservoir = self._reservoir
         size = getsizeof(reservoir._slots) + getsizeof(reservoir._slot_of)
         for key in reservoir._slot_of:

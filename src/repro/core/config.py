@@ -8,7 +8,7 @@ from dataclasses import dataclass, field
 from repro.core.constraints import ConstraintPolicy, Unconstrained
 from repro.util.validation import check_positive, check_probability
 
-__all__ = ["DeletionPolicy", "ClustererConfig"]
+__all__ = ["DeletionPolicy", "ClustererConfig", "normalize_config"]
 
 
 class DeletionPolicy(enum.Enum):
@@ -67,6 +67,15 @@ class ClustererConfig:
         ingestion path (unconstrained random-pairing configurations
         only). The result is identical either way; disable only to
         force the per-event reference path, e.g. when benchmarking it.
+    kernel:
+        Which sampling kernel drives batched ingestion. ``"scalar"``
+        (default) is the Mersenne-Twister reference path — bit-identical
+        to per-event processing and to every previous release.
+        ``"numpy"`` processes whole event batches as arrays
+        (:mod:`repro.core.batchkernel`) for ~3x batched throughput; its
+        PCG64 draws are *distribution*-equivalent, not bit-identical, so
+        checkpoints record which kernel wrote them and a run must stick
+        with one kernel end to end (see docs/performance.md).
     """
 
     reservoir_capacity: int
@@ -78,6 +87,7 @@ class ClustererConfig:
     resample_threshold: float = 0.5
     seed: int = 0
     batch_fast_path: bool = True
+    kernel: str = "scalar"
 
     def __post_init__(self) -> None:
         check_positive("reservoir_capacity", self.reservoir_capacity)
@@ -104,3 +114,20 @@ class ClustererConfig:
                 "strict stream validation requires track_graph=True; "
                 "set strict=False for the lean memory mode"
             )
+        if self.kernel not in ("scalar", "numpy"):
+            raise ValueError(
+                f"kernel must be 'scalar' or 'numpy', got {self.kernel!r}"
+            )
+
+
+def normalize_config(config: ClustererConfig) -> ClustererConfig:
+    """Backfill fields on configs pickled before they existed.
+
+    Checkpoints embed the pickled dataclass; one written before the
+    ``kernel`` field was added unpickles without the attribute (which
+    would break attribute access *and* dataclass equality). Such a
+    checkpoint was by construction written by the scalar kernel.
+    """
+    if not hasattr(config, "kernel"):
+        config.kernel = "scalar"
+    return config

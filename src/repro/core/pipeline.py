@@ -471,6 +471,11 @@ class PipelineClusterer:
         if self._closed:
             raise RuntimeError("PipelineClusterer is closed")
         self._merged = None
+        if getattr(self.config, "kernel", "scalar") == "numpy":
+            if type(events) is not list:
+                events = list(events)
+            if self._route_vectorized(events):
+                return self
         add_edge = EventKind.ADD_EDGE
         delete_edge = EventKind.DELETE_EDGE
         buffers = self._buffers
@@ -551,6 +556,70 @@ class PipelineClusterer:
         # (:meth:`process`) rather than per batch.
         return self
 
+    def _route_vectorized(self, events: List[AnyEvent]) -> bool:
+        """Producer routing for an all-edge, all-int tuple batch.
+
+        Computes every event's shard in one ``shard_ids`` call (ints key
+        as themselves, so the splitmix64 finalizer applies directly —
+        bit-identical to the inlined scalar routing) and keeps only the
+        cheap buffer-append/flush loop in Python. Returns False when the
+        batch needs the scalar loop: non-tuple events, vertex barriers,
+        or endpoints that are not plain int64-range ints.
+
+        Self-loop semantics match the scalar loop: every event before
+        the loop is routed (buffered, flushing at ``batch_events`` as
+        usual), then the same ``ValueError`` is raised.
+        """
+        if not events:
+            return True
+        for event in events:
+            if type(event) is not tuple:
+                return False
+        kinds = [event[0] for event in events]
+        n_edges = kinds.count(EventKind.ADD_EDGE) + kinds.count(
+            EventKind.DELETE_EDGE
+        )
+        if n_edges != len(kinds):
+            return False
+        us = [event[1] for event in events]
+        vs = [event[2] for event in events]
+        # Exact-type gate: bools key via the repr hash, huge ints
+        # overflow int64 — both take the scalar loop instead.
+        if set(map(type, us)) != {int} or set(map(type, vs)) != {int}:
+            return False
+        import numpy as np
+
+        from repro.sampling.vectorized import shard_ids
+
+        try:
+            ua = np.array(us, dtype=np.int64)
+            va = np.array(vs, dtype=np.int64)
+        except OverflowError:
+            return False
+        lo = np.minimum(ua, va)
+        hi = np.maximum(ua, va)
+        loops = np.flatnonzero(lo == hi)
+        limit = int(loops[0]) if loops.size else len(events)
+        shards = shard_ids(lo[:limit], hi[:limit], self.num_shards).tolist()
+        lo_list = lo.tolist()
+        hi_list = hi.tolist()
+        buffers = self._buffers
+        shard_events = self.shard_events
+        batch_events = self.batch_events
+        for i, shard in enumerate(shards):
+            shard_events[shard] += 1
+            buffer = buffers[shard]
+            if vs[i] < us[i]:
+                buffer.append((kinds[i], lo_list[i], hi_list[i]))
+            else:
+                buffer.append(events[i])
+            if len(buffer) >= batch_events:
+                self._flush_shard(shard)
+        if loops.size:
+            u = us[limit]
+            raise ValueError(f"self-loop edges are not allowed: {u!r}")
+        return True
+
     def apply(self, event: AnyEvent) -> None:
         """Route one event (buffered; see :meth:`apply_many`)."""
         self.apply_many((event,))
@@ -563,10 +632,16 @@ class PipelineClusterer:
         ``batch_size`` overrides the producer buffer size for this call
         (``None`` keeps the constructor's ``batch_events``). Unlike the
         single clusterer there is no per-event reference path — frames
-        are how events reach the workers — but frame boundaries cannot
-        change the result: per-shard event order is preserved, and the
-        PR-2 split-invariance property makes ``apply_many`` insensitive
-        to how a shard's stream is chunked.
+        are how events reach the workers — but with the default scalar
+        kernel frame boundaries cannot change the result: per-shard
+        event order is preserved, and the PR-2 split-invariance property
+        makes ``apply_many`` insensitive to how a shard's stream is
+        chunked. The numpy kernel draws its RNG in per-batch blocks, so
+        its (distribution-equivalent) sample is a deterministic function
+        of the frame boundaries as well — replay after a worker death
+        reproduces the same frames and hence the same result, but
+        changing ``batch_events`` changes which equally-valid sample is
+        drawn.
         """
         if batch_size is not None:
             check_positive("batch_size", batch_size)

@@ -31,7 +31,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 from repro.connectivity.union_find import UnionFind
 from repro.core.clusterer import AnyEvent, StreamingGraphClusterer
 from repro.obs import metrics as _obs
-from repro.core.config import ClustererConfig
+from repro.core.config import ClustererConfig, normalize_config
 from repro.quality.partition import Partition
 from repro.streams.events import (
     Edge,
@@ -127,6 +127,7 @@ def _shard_config(config: ClustererConfig, shard: int, num_shards: int) -> Clust
         resample_threshold=config.resample_threshold,
         seed=child_seed(config.seed, "shard", shard),
         batch_fast_path=config.batch_fast_path,
+        kernel=getattr(config, "kernel", "scalar"),
     )
 
 
@@ -237,6 +238,13 @@ class ShardedClusterer:
         at a time. Vertex events are barriers: buckets flush, then the
         event is broadcast exactly as in :meth:`apply`.
         """
+        if getattr(self.config, "kernel", "scalar") == "numpy":
+            if type(events) is not list:
+                events = list(events)
+            if self._route_vectorized(events):
+                if _obs._ENABLED:
+                    self.sync_metrics()
+                return self
         buckets: List[List[AnyEvent]] = [[] for _ in range(self.num_shards)]
 
         def flush() -> None:
@@ -265,6 +273,65 @@ class ShardedClusterer:
         if _obs._ENABLED:
             self.sync_metrics()
         return self
+
+    def _route_vectorized(self, events: List[AnyEvent]) -> bool:
+        """Bucket an all-edge, all-int batch with one vectorized pass.
+
+        Returns True when the batch was routed (possibly trivially, for
+        an empty batch); False means the batch is not eligible — mixed
+        kinds, non-tuple events, or non-int endpoints — and the caller
+        must take the scalar routing loop instead. Shard assignment is
+        ``sampling.vectorized.shard_ids`` on the canonical endpoint
+        order, bit-for-bit the scalar ``_shard_of``, so both routes
+        produce identical shard streams.
+
+        A self-loop raises exactly like the scalar loop's
+        ``canonical_edge`` — before anything is applied, since the
+        scalar path only flushes its buckets after the full scan.
+        """
+        if not events:
+            return True
+        for event in events:
+            if type(event) is not tuple:
+                return False
+        kinds = [event[0] for event in events]
+        n_edges = kinds.count(EventKind.ADD_EDGE) + kinds.count(
+            EventKind.DELETE_EDGE
+        )
+        if n_edges != len(kinds):
+            return False  # vertex barriers: scalar loop handles ordering
+        us = [event[1] for event in events]
+        vs = [event[2] for event in events]
+        # Exact-type gate: bools route through the repr hash and huge
+        # ints overflow int64 — both fall back to the scalar loop.
+        if set(map(type, us)) != {int} or set(map(type, vs)) != {int}:
+            return False
+        import numpy as np
+
+        from repro.sampling.vectorized import shard_ids
+
+        try:
+            ua = np.array(us, dtype=np.int64)
+            va = np.array(vs, dtype=np.int64)
+        except OverflowError:
+            return False
+        lo = np.minimum(ua, va)
+        hi = np.maximum(ua, va)
+        loops = np.flatnonzero(lo == hi)
+        if loops.size:
+            u = us[int(loops[0])]
+            raise ValueError(
+                f"self-loop edges are not allowed: ({u!r}, {u!r})"
+            )
+        shard_events = self.shard_events
+        buckets: List[List[AnyEvent]] = [[] for _ in range(self.num_shards)]
+        for event, shard in zip(events, shard_ids(lo, hi, self.num_shards).tolist()):
+            buckets[shard].append(event)
+        for shard, bucket in enumerate(buckets):
+            if bucket:
+                shard_events[shard] += len(bucket)
+                self.shards[shard].apply_many(bucket)
+        return True
 
     def process(
         self, events: Iterable[AnyEvent], batch_size: int | None = None
@@ -305,7 +372,7 @@ class ShardedClusterer:
     @classmethod
     def from_state(cls, state: dict) -> "ShardedClusterer":
         """Reconstruct a sharded clusterer from :meth:`get_state` output."""
-        sharded = cls(state["config"], state["num_shards"])
+        sharded = cls(normalize_config(state["config"]), state["num_shards"])
         shard_states = state["shards"]
         if len(shard_states) != sharded.num_shards:
             raise ValueError(

@@ -356,3 +356,34 @@ class PackedEdgeReservoir(RandomPairingReservoir[int]):
     def __init__(self, capacity: int, seed: int | None = 0) -> None:
         super().__init__(capacity, seed=seed)
         self._slots = array("Q")
+
+    @classmethod
+    def from_state(
+        cls, state: dict, *, id_limit: int | None = None
+    ) -> "PackedEdgeReservoir":
+        """Reconstruct a packed reservoir, validating the packed keys.
+
+        Beyond the base-class structural checks, every item must be a
+        non-negative int that fits the ``(u32 << 32) | u32`` packing,
+        and — when ``id_limit`` is given (the interner's table size) —
+        both endpoint ids must fall inside the interner's id range: a
+        key referencing an id the interner never assigned cannot come
+        from :meth:`get_state` and would crash (or silently corrupt)
+        every later label lookup.
+        """
+        for item in state["items"]:
+            if type(item) is not int or item < 0 or item > 0xFFFFFFFFFFFFFFFF:
+                raise ValueError(
+                    f"corrupt sampler state: packed edge key {item!r} is "
+                    "not a u64"
+                )
+            if id_limit is not None:
+                hi = item >> 32
+                lo = item & 0xFFFFFFFF
+                if hi >= id_limit or lo >= id_limit:
+                    raise ValueError(
+                        f"corrupt sampler state: packed edge key {item:#x} "
+                        f"references vertex id {max(hi, lo)} outside the "
+                        f"intern table (size {id_limit})"
+                    )
+        return super().from_state(state)

@@ -3,6 +3,7 @@
 from repro.streams.events import (
     Edge,
     EdgeEvent,
+    EventColumns,
     EventKind,
     RawEvent,
     Vertex,
@@ -30,6 +31,7 @@ from repro.streams.generators import (
 from repro.streams.io import (
     read_edge_list,
     read_event_batches,
+    read_event_columns,
     read_event_stream,
     read_event_stream_raw,
     write_edge_list,
@@ -45,6 +47,7 @@ from repro.streams.timestamped import (
 from repro.streams.order import (
     adversarial_bridge_first,
     insert_delete_stream,
+    insert_only_columns,
     insert_only_stream,
     insert_only_stream_raw,
     shuffled,
@@ -54,6 +57,7 @@ __all__ = [
     "DriftPhase",
     "Edge",
     "EdgeEvent",
+    "EventColumns",
     "EventKind",
     "LFRGraph",
     "PlantedPartitionGraph",
@@ -74,6 +78,7 @@ __all__ = [
     "erdos_renyi_edges",
     "events_from_edges",
     "insert_delete_stream",
+    "insert_only_columns",
     "insert_only_stream",
     "insert_only_stream_raw",
     "lfr_graph",
@@ -81,6 +86,7 @@ __all__ = [
     "power_law_sequence",
     "read_edge_list",
     "read_event_batches",
+    "read_event_columns",
     "read_event_stream",
     "read_event_stream_raw",
     "rmat_edges",

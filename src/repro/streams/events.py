@@ -21,6 +21,7 @@ __all__ = [
     "Edge",
     "EventKind",
     "EdgeEvent",
+    "EventColumns",
     "RawEvent",
     "canonical_edge",
     "add_edge",
@@ -101,6 +102,35 @@ class EdgeEvent:
     def is_edge_event(self) -> bool:
         """True for ADD_EDGE / DELETE_EDGE events."""
         return self.v is not None
+
+
+@dataclass(slots=True)
+class EventColumns:
+    """A batch of raw events in column (struct-of-arrays) form.
+
+    The batch readers (:func:`repro.streams.io.read_event_columns`,
+    :func:`repro.streams.io.insert_only_columns`) emit these so the
+    numpy batch kernel can consume a whole batch without building a
+    tuple per event. ``kinds`` is ``None`` when *every* event in the
+    batch is an ``ADD_EDGE`` — the overwhelmingly common case, which
+    the kernel then vectorizes in a single run. Like :data:`RawEvent`
+    tuples, columns are neither validated nor canonicalized here;
+    ``apply_many`` does both in bulk.
+    """
+
+    us: list
+    vs: list
+    kinds: Optional[list] = None
+
+    def __len__(self) -> int:
+        return len(self.us)
+
+    def to_events(self) -> list:
+        """The same batch as a list of raw ``(kind, u, v)`` tuples."""
+        if self.kinds is None:
+            add = EventKind.ADD_EDGE
+            return [(add, u, v) for u, v in zip(self.us, self.vs)]
+        return list(zip(self.kinds, self.us, self.vs))
 
 
 def add_edge(u: Vertex, v: Vertex) -> EdgeEvent:

@@ -6,11 +6,12 @@ orders the experiments (and adversarial tests) need.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Iterator, List, Sequence
 
 from repro.streams.events import (
     Edge,
     EdgeEvent,
+    EventColumns,
     EventKind,
     RawEvent,
     add_edge,
@@ -23,6 +24,7 @@ __all__ = [
     "shuffled",
     "insert_only_stream",
     "insert_only_stream_raw",
+    "insert_only_columns",
     "insert_delete_stream",
     "adversarial_bridge_first",
 ]
@@ -59,6 +61,26 @@ def insert_only_stream_raw(
     if seed is not None:
         make_rng(child_seed(seed, "insert_only")).shuffle(events)
     return events
+
+
+def insert_only_columns(
+    edges: Iterable[Edge], batch_size: int, seed: int | None = 0
+) -> Iterator[EventColumns]:
+    """:func:`insert_only_stream_raw` grouped into :class:`EventColumns`.
+
+    Yields column batches with ``kinds=None`` (the stream is ADD_EDGE by
+    construction), the shape the numpy batch kernel consumes without
+    per-event inspection. Draws the same permutation as the raw variant
+    for the same seed, so all three spellings describe the same stream.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    events = insert_only_stream_raw(edges, seed=seed)
+    for start in range(0, len(events), batch_size):
+        chunk = events[start : start + batch_size]
+        yield EventColumns(
+            us=[e[1] for e in chunk], vs=[e[2] for e in chunk]
+        )
 
 
 def insert_delete_stream(

@@ -112,6 +112,76 @@ class TestCluster:
         labels_b = {line.split("\t")[1] for line in b.read_text().splitlines()}
         assert len(labels_b) <= len(labels_a)
 
+    @pytest.mark.parametrize("flag,value", [
+        ("--batch-size", "0"),
+        ("--batch-size", "-1"),
+        ("--workers", "0"),
+    ])
+    def test_nonpositive_sizes_rejected(self, workload, flag, value):
+        edges, _ = workload
+        result = run_cli(
+            "cluster", str(edges), "--capacity", "100", flag, value,
+        )
+        assert result.returncode == 2
+        assert "must be >= 1" in result.stderr
+
+    def test_scalar_kernel_is_the_default(self, workload, tmp_path):
+        # `--kernel scalar` must be byte-identical to not passing the
+        # flag at all: the numpy kernel is strictly opt-in.
+        edges, _ = workload
+        default, explicit = tmp_path / "default", tmp_path / "explicit"
+        args = ["cluster", str(edges), "--capacity", "200", "--seed", "5"]
+        assert main([*args, "--out", str(default)]) == 0
+        assert main([*args, "--kernel", "scalar", "--out", str(explicit)]) == 0
+        assert default.read_bytes() == explicit.read_bytes()
+
+    def test_numpy_kernel_deterministic_labels(self, workload, tmp_path,
+                                               capsys):
+        edges, _ = workload
+        a, b = tmp_path / "a", tmp_path / "b"
+        args = [
+            "cluster", str(edges), "--capacity", "200", "--seed", "5",
+            "--kernel", "numpy", "--batch-size", "512",
+        ]
+        assert main([*args, "--out", str(a)]) == 0
+        assert "clusters" in capsys.readouterr().err
+        assert main([*args, "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_kernel_mismatch_on_resume_refused(self, workload, tmp_path,
+                                               capsys):
+        edges, _ = workload
+        ckpt = tmp_path / "run.ckpt"
+        assert main([
+            "cluster", str(edges), "--capacity", "200", "--seed", "5",
+            "--kernel", "numpy", "--checkpoint", str(ckpt),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "cluster", str(edges), "--capacity", "200", "--seed", "5",
+            "--checkpoint", str(ckpt), "--resume",
+        ])
+        assert code == 2
+        assert "--kernel" in capsys.readouterr().err
+
+    def test_numpy_checkpoint_resume_is_identical(self, workload, tmp_path,
+                                                  capsys):
+        edges, _ = workload
+        full = tmp_path / "full.labels"
+        args = [
+            "cluster", str(edges), "--capacity", "200", "--seed", "5",
+            "--kernel", "numpy",
+        ]
+        assert main([*args, "--out", str(full)]) == 0
+        ckpt = tmp_path / "run.ckpt"
+        assert main([*args, "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        resumed = tmp_path / "resumed.labels"
+        assert main([*args, "--out", str(resumed), "--checkpoint", str(ckpt),
+                     "--resume"]) == 0
+        assert "resumed from" in capsys.readouterr().err
+        assert resumed.read_text() == full.read_text()
+
 
 class TestParallelModes:
     def test_all_modes_produce_identical_labels(self, workload, tmp_path):
