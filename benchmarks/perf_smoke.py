@@ -2,9 +2,9 @@
 
 Runs a pinned-seed mini version of experiment E4 (a prefix of the
 dblp_like insert-only stream) through the per-event, batched (scalar
-and numpy kernels) and multiprocess-pipeline ingestion paths and
-compares events/sec against the committed baseline in
-``bench_results/perf_smoke_baseline.json``:
+and numpy kernels), multiprocess-pipeline and served (columnar frames
+over a unix socket) ingestion paths and compares events/sec against
+the committed baseline in ``bench_results/perf_smoke_baseline.json``:
 
 * a drop of more than ``TOLERANCE`` (30%) on any path fails the job;
 * the batched path must also keep a healthy machine-independent margin
@@ -32,7 +32,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
+import threading
 import time
 import tracemalloc
 from pathlib import Path
@@ -48,6 +51,8 @@ from repro.core import (  # noqa: E402
     ShardedClusterer,
     StreamingGraphClusterer,
 )
+from repro.serve import ClusterService, ServiceClient  # noqa: E402
+from repro.streams.events import EventColumns  # noqa: E402
 
 # bench_common enables metric emission for the experiment benchmarks;
 # the smoke's baseline numbers are defined with emission *off* (the
@@ -102,6 +107,36 @@ def _ingest_pipeline(raw, capacity: int) -> float:
         return time.perf_counter() - start
 
 
+def _ingest_served(columns, capacity: int) -> float:
+    """Served columnar ingest over a unix socket, service spawn excluded.
+
+    The client streams codec-v3 columnar frames (``send_columns``) into
+    one tenant of a fresh service and the trailing metrics query is the
+    barrier that guarantees every frame has been decoded and applied
+    before the timer stops — the smoke's gate on the whole wire path
+    (client encode, socket, frame decode, queue, batched apply).
+    """
+    config = ClustererConfig(reservoir_capacity=capacity, strict=False, seed=SEED)
+    with tempfile.TemporaryDirectory() as tmp:
+        sock = os.path.join(tmp, "smoke.sock")
+        service = ClusterService(config, path=sock, batch_size=BATCH_SIZE)
+        thread = threading.Thread(target=service.run, daemon=True)
+        thread.start()
+        if not service.started.wait(timeout=30.0):
+            raise AssertionError("perf-smoke service failed to start")
+        try:
+            start = time.perf_counter()
+            with ServiceClient(
+                sock, tenant="smoke", batch_size=BATCH_SIZE
+            ) as client:
+                client.send_columns(columns)
+                client.metrics()  # barrier: every frame is applied
+            return time.perf_counter() - start
+        finally:
+            service.request_shutdown(0)
+            thread.join(timeout=30.0)
+
+
 def _check_pipeline_partition(raw, capacity: int) -> None:
     """The smoke's pipeline numbers only count if the answer is right."""
     config = ClustererConfig(reservoir_capacity=capacity, strict=False, seed=SEED)
@@ -140,6 +175,14 @@ def measure() -> dict:
     numpy_kernel = min(numpy_times)
     _check_pipeline_partition(raw, capacity)
     pipeline = min(_ingest_pipeline(raw, capacity) for _ in range(ROUNDS))
+    columns = [
+        EventColumns(
+            us=[e[1] for e in raw[i : i + BATCH_SIZE]],
+            vs=[e[2] for e in raw[i : i + BATCH_SIZE]],
+        )
+        for i in range(0, len(raw), BATCH_SIZE)
+    ]
+    served = min(_ingest_served(columns, capacity) for _ in range(ROUNDS))
     return {
         "events": len(events),
         "capacity": capacity,
@@ -150,6 +193,7 @@ def measure() -> dict:
         "batched_events_per_sec": round(len(events) / batched),
         "numpy_kernel_events_per_sec": round(len(events) / numpy_kernel),
         "pipeline_events_per_sec": round(len(events) / pipeline),
+        "served_events_per_sec": round(len(events) / served),
     }
 
 
@@ -241,6 +285,10 @@ def main(argv=None) -> int:
         f"pipeline ({PIPELINE_WORKERS} workers): "
         f"{current['pipeline_events_per_sec']:,} ev/s"
     )
+    print(
+        f"served (columnar, batch={BATCH_SIZE}): "
+        f"{current['served_events_per_sec']:,} ev/s"
+    )
     print(f"peak ingest memory: {current['peak_ingest_bytes'] / 2**20:.1f} MiB")
 
     if args.update:
@@ -258,6 +306,7 @@ def main(argv=None) -> int:
         "batched_events_per_sec",
         "numpy_kernel_events_per_sec",
         "pipeline_events_per_sec",
+        "served_events_per_sec",
     ):
         floor = baseline[key] * (1.0 - TOLERANCE)
         status = "ok" if current[key] >= floor else "REGRESSION"

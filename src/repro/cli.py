@@ -251,6 +251,16 @@ def build_parser() -> argparse.ArgumentParser:
     send.add_argument("--seed", type=int, default=0,
                       help="insert-order shuffle seed (match the inline "
                            "run you are comparing against)")
+    send.add_argument("--kernel", choices=("scalar", "numpy"),
+                      help="require this batch kernel for the tenant's "
+                           "session (default: the server's --kernel); a "
+                           "conflict with a live session or a resumed "
+                           "checkpoint is refused, exit code 2")
+    send.add_argument("--batch-size", type=_positive_int, default=1024,
+                      metavar="N",
+                      help="events per columnar frame (default: 1024); "
+                           "match the server's --batch-size so served "
+                           "numpy partitions are deterministic")
     send.add_argument("--skip-malformed", action="store_true",
                       help="skip unparseable input lines instead of aborting")
     send.add_argument("--out", help="write the served snapshot labels to "
@@ -629,23 +639,28 @@ def _run_serve(args: argparse.Namespace) -> int:
 def _run_send(args: argparse.Namespace) -> int:
     from repro.serve import ServiceClient
     from repro.streams import (
-        insert_only_stream_raw,
+        insert_only_columns,
         read_edge_list,
-        read_event_stream_raw,
+        read_event_columns,
     )
 
     strict_io = not args.skip_malformed
     io_errors: List[str] = []
     if args.events:
-        stream = read_event_stream_raw(
-            args.input, strict=strict_io, errors=io_errors
+        batches = read_event_columns(
+            args.input, args.batch_size, strict=strict_io, errors=io_errors
         )
     else:
         edges = read_edge_list(args.input, strict=strict_io, errors=io_errors)
-        stream = insert_only_stream_raw(edges, seed=args.seed)
+        batches = insert_only_columns(edges, args.batch_size, seed=args.seed)
     endpoint = args.unix if args.unix else (args.host, args.port)
-    with ServiceClient(endpoint, tenant=args.tenant) as client:
-        count = client.send_events(stream)
+    with ServiceClient(
+        endpoint,
+        tenant=args.tenant,
+        kernel=args.kernel,
+        batch_size=args.batch_size,
+    ) as client:
+        count = client.send_columns(batches)
         summary = f"sent {count} events as tenant {args.tenant!r}"
         if not args.no_snapshot:
             snapshot = client.snapshot()

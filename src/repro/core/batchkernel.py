@@ -239,12 +239,20 @@ class NumpyBatchKernel:
 
     def apply_columns(self, kinds, us, vs) -> None:
         """Column-form entry (``EventColumns``); ``kinds`` may be None
-        when every event is an ADD_EDGE."""
+        when every event is an ADD_EDGE. Columns arrive as lists from
+        the stream readers or as int64 arrays off the columnar wire
+        decode — array columns skip the per-label type gate entirely."""
         if kinds is None:
-            if us:
+            if isinstance(us, np.ndarray):
+                self.run_add_arrays(us, vs)
+            elif us:
                 self.run_add(us, vs)
             return
-        self.apply_stream(zip(kinds, us, vs))
+        if type(us) is not list:
+            us = us.tolist()
+        if type(vs) is not list:
+            vs = vs.tolist()
+        self.apply_stream(list(zip(kinds, us, vs)))
 
     def apply_interned(self, events: Iterable[Tuple[EventKind, int, int]]) -> None:
         """Pre-interned ``(kind, uid, vid)`` edge tuples (pipeline workers)."""
@@ -307,6 +315,34 @@ class NumpyBatchKernel:
                 raise pending_error
         else:
             self._run_add_generic(us, vs)
+
+    def run_add_arrays(self, au, av) -> None:
+        """Array-native ADD_EDGE run: endpoint columns already int64.
+
+        The wire decode hands label columns straight from the frame's
+        gather — no per-label type gate, no list round-trip. Semantics
+        match :meth:`run_add` exactly, including the truncate-at-first-
+        self-loop error contract.
+        """
+        au = np.asarray(au, dtype=np.int64)
+        av = np.asarray(av, dtype=np.int64)
+        if not au.size:
+            return
+        pending_error: Optional[BaseException] = None
+        loops = au == av
+        if loops.any():
+            p = int(np.argmax(loops))
+            pending_error = ValueError(
+                f"self-loop edges are not allowed: "
+                f"({int(au[p])!r}, {int(av[p])!r})"
+            )
+            au = au[:p]
+            av = av[:p]
+        if au.size:
+            lo, hi = self._intern_int_pairs(au, av)
+            self._run(lo, hi)
+        if pending_error is not None:
+            raise pending_error
 
     def _intern_int_pairs(
         self, au: np.ndarray, av: np.ndarray

@@ -9,10 +9,11 @@ counterpart the paper's "easily parallelized" claim actually needs::
     parent (producer stage)            worker processes (one per shard)
     ┌──────────────────────────┐       ┌───────────────────────────────┐
     │ parse → canonicalize →   │ pipe  │ delta-decode + intern →       │
-    │ route (FNV-1a/splitmix64)│ ────► │ apply_interned_many →         │
-    │ → pack delta frames      │       │ per-shard                     │
-    │   (codec v2, per-shard   │       │ StreamingGraphClusterer       │
-    │    persistent tables)    │       │ (dense-id hot path)           │
+    │ route (FNV-1a/splitmix64)│ ────► │ apply_interned_many /         │
+    │ → pack delta (v2) or     │       │ apply_many(columns) →         │
+    │   columnar (v3) frames   │       │ per-shard                     │
+    │   (per-shard persistent  │       │ StreamingGraphClusterer       │
+    │    tables)               │       │ (dense-id hot path)           │
     └──────────────────────────┘       └───────────────────────────────┘
 
 * Workers are **long-lived** ``spawn`` processes; each owns exactly the
@@ -67,7 +68,7 @@ from repro.streams.codec import (
     FrameDecoder,
     FrameEncoder,
 )
-from repro.streams.events import EdgeEvent, EventKind, Vertex
+from repro.streams.events import EdgeEvent, EventColumns, EventKind, Vertex
 from repro.util.validation import check_positive
 
 __all__ = ["PipelineClusterer"]
@@ -130,11 +131,18 @@ def _pipeline_worker(
             op = message[:1]
             if op == _OP_BATCH:
                 start = process_time()
-                for segment in decoder.decode(message[1:]):
+                for segment in decoder.decode(memoryview(message)[1:]):
                     if segment.__class__ is list:
                         # Interned edge run — the zero-rehydration path.
                         events_applied += len(segment)
                         clusterer.apply_interned_many(segment)
+                        continue
+                    if segment.__class__ is EventColumns:
+                        # Columnar (v3) frame: the whole block feeds the
+                        # batch kernel (or the scalar fallback inside
+                        # apply_many) without per-event rehydration.
+                        events_applied += len(segment)
+                        clusterer.apply_many(segment)
                         continue
                     events_applied += 1
                     kind = segment[0]
@@ -261,6 +269,13 @@ class PipelineClusterer:
         self.frames_sent = 0
         self.bytes_sent = 0
         self._buffers: List[List[tuple]] = [[] for _ in range(n)]
+        # Columnar buffers: per-shard ``(lo, hi)`` int64 array pairs
+        # awaiting a version-3 frame. Invariant: at most one of
+        # ``_buffers[s]`` / ``_col_buffers[s]`` is non-empty at any
+        # time (every append site flushes the other kind first), so
+        # per-shard event order is unambiguous at flush time.
+        self._col_buffers: List[List[tuple]] = [[] for _ in range(n)]
+        self._col_counts: List[int] = [0] * n
         self._procs: List[Optional[object]] = [None] * n
         self._conns: List[Optional[object]] = [None] * n
         # Supervision state: last fetched worker state (pickled) + the
@@ -376,8 +391,10 @@ class PipelineClusterer:
         self._dispose_worker(shard)
         self._failed[shard] = True
         self._fail_errors[shard] = error
-        self.dropped_events += len(self._buffers[shard])
+        self.dropped_events += len(self._buffers[shard]) + self._col_counts[shard]
         self._buffers[shard].clear()
+        self._col_buffers[shard].clear()
+        self._col_counts[shard] = 0
         self._log[shard].clear()
         self._merged = None
         if _obs._ENABLED:
@@ -441,23 +458,46 @@ class PipelineClusterer:
 
     def _flush_shard(self, shard: int) -> None:
         buffer = self._buffers[shard]
-        if not buffer:
+        col = self._col_buffers[shard]
+        if not buffer and not col:
             return
         if self._failed[shard]:
-            self.dropped_events += len(buffer)
+            self.dropped_events += len(buffer) + self._col_counts[shard]
             buffer.clear()
+            col.clear()
+            self._col_counts[shard] = 0
             return
-        for frame in self._encoders[shard].encode_batches(
-            buffer, max_bytes=self.max_frame_bytes
-        ):
-            self._send_frame(shard, _OP_BATCH + frame)
-        buffer.clear()
+        if buffer:
+            for frame in self._encoders[shard].encode_batches(
+                buffer, max_bytes=self.max_frame_bytes
+            ):
+                self._send_frame(shard, _OP_BATCH + frame)
+            buffer.clear()
+        if col:
+            for frame in self._encode_col_frames(shard):
+                self._send_frame(shard, _OP_BATCH + frame)
+            col.clear()
+            self._col_counts[shard] = 0
+
+    def _encode_col_frames(self, shard: int):
+        """Version-3 frames for a shard's columnar buffer (not cleared)."""
+        import numpy as np
+
+        col = self._col_buffers[shard]
+        if len(col) == 1:
+            lo, hi = col[0]
+        else:
+            lo = np.concatenate([pair[0] for pair in col])
+            hi = np.concatenate([pair[1] for pair in col])
+        return self._encoders[shard].encode_columns(
+            lo, hi, max_bytes=self.max_frame_bytes
+        )
 
     def _flush_all(self) -> None:
         for shard in range(self.num_shards):
             self._flush_shard(shard)
 
-    def apply_many(self, events: Iterable[AnyEvent]) -> "PipelineClusterer":
+    def apply_many(self, events) -> "PipelineClusterer":
         """Route a batch of events into the worker pool.
 
         Edge events are canonicalized (shard routing keys on canonical
@@ -467,10 +507,23 @@ class PipelineClusterer:
         :class:`ShardedClusterer`. Returns immediately after the frames
         are queued — workers apply them concurrently; any query method
         is a barrier that waits for them.
+
+        Accepts :class:`~repro.streams.events.EventColumns` as well:
+        all-int column batches are shard-routed vectorized and shipped
+        as version-3 columnar frames, which each worker's decoder hands
+        to its clusterer as one columnar block — the wire-path twin of
+        the inline batch-kernel fast path.
         """
         if self._closed:
             raise RuntimeError("PipelineClusterer is closed")
         self._merged = None
+        if type(events) is EventColumns:
+            # Columnar wire-path input: route straight from the arrays
+            # (bucketed per shard, shipped as version-3 frames). Falls
+            # back to the tuple loop for exotic label types.
+            if events.kinds is None and self._route_columns(events):
+                return self
+            events = events.to_events()
         if getattr(self.config, "kernel", "scalar") == "numpy":
             if type(events) is not list:
                 events = list(events)
@@ -479,6 +532,7 @@ class PipelineClusterer:
         add_edge = EventKind.ADD_EDGE
         delete_edge = EventKind.DELETE_EDGE
         buffers = self._buffers
+        col_counts = self._col_counts
         shard_events = self.shard_events
         key_cache = self._key_cache
         cache_get = key_cache.get
@@ -533,6 +587,8 @@ class PipelineClusterer:
                 x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & mask
                 shard = (x ^ (x >> 31)) % num_shards
                 shard_events[shard] += 1
+                if col_counts[shard]:
+                    self._flush_shard(shard)  # keep per-shard order
                 buffer = buffers[shard]
                 buffer.append(event if event is not None else (kind, u, v))
                 if len(buffer) >= batch_events:
@@ -576,9 +632,8 @@ class PipelineClusterer:
             if type(event) is not tuple:
                 return False
         kinds = [event[0] for event in events]
-        n_edges = kinds.count(EventKind.ADD_EDGE) + kinds.count(
-            EventKind.DELETE_EDGE
-        )
+        n_adds = kinds.count(EventKind.ADD_EDGE)
+        n_edges = n_adds + kinds.count(EventKind.DELETE_EDGE)
         if n_edges != len(kinds):
             return False
         us = [event[1] for event in events]
@@ -600,14 +655,25 @@ class PipelineClusterer:
         hi = np.maximum(ua, va)
         loops = np.flatnonzero(lo == hi)
         limit = int(loops[0]) if loops.size else len(events)
+        if n_adds == len(kinds):
+            # All-ADD batch: bucket columnar and ship version-3 frames
+            # — no per-event Python from here to the worker kernel.
+            self._bucket_columns(lo[:limit], hi[:limit])
+            if loops.size:
+                u = us[limit]
+                raise ValueError(f"self-loop edges are not allowed: {u!r}")
+            return True
         shards = shard_ids(lo[:limit], hi[:limit], self.num_shards).tolist()
         lo_list = lo.tolist()
         hi_list = hi.tolist()
         buffers = self._buffers
+        col_counts = self._col_counts
         shard_events = self.shard_events
         batch_events = self.batch_events
         for i, shard in enumerate(shards):
             shard_events[shard] += 1
+            if col_counts[shard]:
+                self._flush_shard(shard)  # keep per-shard order
             buffer = buffers[shard]
             if vs[i] < us[i]:
                 buffer.append((kinds[i], lo_list[i], hi_list[i]))
@@ -619,6 +685,95 @@ class PipelineClusterer:
             u = us[limit]
             raise ValueError(f"self-loop edges are not allowed: {u!r}")
         return True
+
+    def _route_columns(self, columns: EventColumns) -> bool:
+        """Route an all-ADD columnar batch without leaving numpy.
+
+        Returns False when the columns cannot take the vectorized path
+        (numpy missing, or labels that are not plain int64-range ints);
+        the caller then falls back to the tuple loop. Self-loop
+        semantics match the scalar loop: everything before the first
+        loop is routed, then the canonical ``ValueError`` is raised.
+        """
+        us, vs = columns.us, columns.vs
+        if not len(us):
+            return True
+        try:
+            import numpy as np
+        except ImportError:
+            return False
+        if type(us) is list:
+            # Exact-type gate, as in _route_vectorized: bools key via
+            # the repr hash, huge ints overflow int64.
+            if set(map(type, us)) != {int} or set(map(type, vs)) != {int}:
+                return False
+            try:
+                ua = np.array(us, dtype=np.int64)
+                va = np.array(vs, dtype=np.int64)
+            except OverflowError:
+                return False
+        else:
+            ua = np.asarray(us)
+            va = np.asarray(vs)
+            if ua.dtype.kind != "i" or va.dtype.kind != "i":
+                return False
+            ua = ua.astype(np.int64, copy=False)
+            va = va.astype(np.int64, copy=False)
+        lo = np.minimum(ua, va)
+        hi = np.maximum(ua, va)
+        loops = np.flatnonzero(lo == hi)
+        limit = int(loops[0]) if loops.size else len(us)
+        self._bucket_columns(lo[:limit], hi[:limit])
+        if loops.size:
+            u = us[limit]
+            if type(u) is not int:
+                u = int(u)
+            raise ValueError(f"self-loop edges are not allowed: {u!r}")
+        return True
+
+    def _bucket_columns(self, lo, hi) -> None:
+        """Bucket canonicalized endpoint arrays into per-shard columnar
+        buffers (stable within-shard order), flushing at
+        ``batch_events`` as the scalar loop would."""
+        if not len(lo):
+            return
+        import numpy as np
+
+        from repro.sampling.vectorized import shard_ids
+
+        num_shards = self.num_shards
+        col_buffers = self._col_buffers
+        col_counts = self._col_counts
+        shard_events = self.shard_events
+        batch_events = self.batch_events
+        if num_shards == 1:
+            spans = [(0, lo, hi)]
+        else:
+            shards = shard_ids(lo, hi, num_shards)
+            order = np.argsort(shards, kind="stable")
+            lo = lo[order]
+            hi = hi[order]
+            counts = np.bincount(shards, minlength=num_shards)
+            spans = []
+            start = 0
+            for shard in range(num_shards):
+                count = int(counts[shard])
+                if count:
+                    stop = start + count
+                    spans.append((shard, lo[start:stop], hi[start:stop]))
+                    start = stop
+        for shard, shard_lo, shard_hi in spans:
+            count = len(shard_lo)
+            shard_events[shard] += count
+            if self._failed[shard]:
+                self.dropped_events += count
+                continue
+            if self._buffers[shard]:
+                self._flush_shard(shard)  # keep per-shard order
+            col_buffers[shard].append((shard_lo, shard_hi))
+            col_counts[shard] += count
+            if col_counts[shard] >= batch_events:
+                self._flush_shard(shard)
 
     def apply(self, event: AnyEvent) -> None:
         """Route one event (buffered; see :meth:`apply_many`)."""
@@ -912,13 +1067,16 @@ class PipelineClusterer:
         for shard in range(self.num_shards):
             conn = self._conns[shard]
             buffer = self._buffers[shard]
+            col = self._col_buffers[shard]
             if conn is None or self._failed[shard]:
                 # A tombstoned shard drops its events by contract, but
                 # the count must not vanish with them: events buffered
                 # since the last flush were never accounted.
-                if buffer:
-                    self.dropped_events += len(buffer)
+                if buffer or col:
+                    self.dropped_events += len(buffer) + self._col_counts[shard]
                     buffer.clear()
+                    col.clear()
+                    self._col_counts[shard] = 0
                 continue
             try:
                 for frame in self._encoders[shard].encode_batches(
@@ -926,12 +1084,19 @@ class PipelineClusterer:
                 ):
                     conn.send_bytes(_OP_BATCH + frame)
                 buffer.clear()
+                if col:
+                    for frame in self._encode_col_frames(shard):
+                        conn.send_bytes(_OP_BATCH + frame)
+                    col.clear()
+                    self._col_counts[shard] = 0
                 conn.send_bytes(_OP_STOP)
             except (OSError, ValueError) as error:
-                if buffer:
-                    lost = len(buffer)
+                if buffer or col:
+                    lost = len(buffer) + self._col_counts[shard]
                     self.dropped_events += lost
                     buffer.clear()
+                    col.clear()
+                    self._col_counts[shard] = 0
                     warnings.warn(
                         f"shard {shard} failed while flushing {lost} "
                         f"buffered event(s) at close "

@@ -31,7 +31,7 @@ from repro.core.sharded import ShardedClusterer
 from repro.errors import CheckpointError
 from repro.persist.canonical import canonicalize
 from repro.persist.format import PathLike, read_container, write_container
-from repro.streams.events import EdgeEvent
+from repro.streams.events import EdgeEvent, EventColumns
 
 __all__ = [
     "STATE_VERSION",
@@ -228,7 +228,28 @@ class PeriodicCheckpointer:
         The batch is split at checkpoint-interval boundaries, so saves
         land at exactly the same stream positions as per-event
         :meth:`apply` — a resumed run replays the identical tail.
+        Accepts :class:`~repro.streams.events.EventColumns` as well as
+        event iterables; column batches split by slicing (no tuple
+        materialization on the columnar wire path).
         """
+        if type(events) is EventColumns:
+            total = len(events)
+            if not total:
+                return
+            if not self.every:
+                self.clusterer.apply_many(events)
+                self.position += total
+                return
+            start = 0
+            while start < total:
+                room = self.every - self.position % self.every
+                stop = min(total, start + room)
+                self.clusterer.apply_many(events.slice(start, stop))
+                self.position += stop - start
+                if self.position % self.every == 0:
+                    self.save()
+                start = stop
+            return
         iterator = iter(events)
         if not self.every:
             chunk = list(iterator)

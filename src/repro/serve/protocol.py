@@ -3,9 +3,14 @@
 The service speaks length-prefixed messages (``u32 length | u8 opcode |
 payload`` — see :func:`repro.streams.codec.pack_wire_message`) over a
 TCP or unix-domain socket. Event payloads are codec version-2 delta
-frames, exactly the bytes the multiprocess pipeline ships over its
-pipes, so a client streams with the same :class:`~repro.streams.codec.
-FrameEncoder` the pipeline producer uses.
+frames or version-3 columnar frames, exactly the bytes the multiprocess
+pipeline ships over its pipes, so a client streams with the same
+:class:`~repro.streams.codec.FrameEncoder` the pipeline producer uses.
+
+Both message readers return the payload as a **memoryview** over the
+receive buffer: the frame decoders (and ``np.frombuffer`` on the
+columnar path) consume it without re-slicing the body into a fresh
+``bytes`` first.
 
 Conversation shape (client side)::
 
@@ -44,6 +49,7 @@ from repro.streams.codec import (
     DEFAULT_MAX_WIRE_BYTES,
     pack_wire_message,
     split_wire_message,
+    wire_message_parts,
 )
 
 __all__ = [
@@ -63,6 +69,7 @@ __all__ = [
     "render_snapshot",
     "send_message",
     "valid_tenant_id",
+    "wire_message_parts",
 ]
 
 # Client → server opcodes.
@@ -101,12 +108,14 @@ def valid_tenant_id(tenant_id: str) -> bool:
 
 async def read_message(
     reader: asyncio.StreamReader, *, max_bytes: int = DEFAULT_MAX_WIRE_BYTES
-) -> Tuple[bytes, bytes]:
+) -> Tuple[bytes, memoryview]:
     """Read one wire message; returns ``(opcode, payload)``.
 
-    Raises :class:`ProtocolError` for an oversized declared length or a
-    stream that ends mid-message, and ``EOFError`` for a clean EOF on a
-    message boundary (a normal way for a client to leave).
+    The payload is a memoryview over the message body (see the module
+    docstring). Raises :class:`ProtocolError` for an oversized declared
+    length or a stream that ends mid-message, and ``EOFError`` for a
+    clean EOF on a message boundary (a normal way for a client to
+    leave).
     """
     try:
         prefix = await reader.readexactly(4)
@@ -157,7 +166,7 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
 
 def recv_message(
     sock: socket.socket, *, max_bytes: int = DEFAULT_MAX_WIRE_BYTES
-) -> Tuple[bytes, bytes]:
+) -> Tuple[bytes, memoryview]:
     """Blocking read of one wire message (client side).
 
     Mirrors :func:`read_message`: ``EOFError`` on a clean boundary,

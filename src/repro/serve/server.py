@@ -1,9 +1,9 @@
 """The streaming clustering service daemon.
 
 :class:`ClusterService` is an asyncio socket server (TCP or unix
-domain) that accepts length-prefixed codec-v2 event frames from many
-concurrent clients and multiplexes them onto per-tenant clusterer
-sessions (:mod:`repro.serve.session`). It is the wire-protocol
+domain) that accepts length-prefixed codec-v2 (tuple) and codec-v3
+(columnar) event frames from many concurrent clients and multiplexes
+them onto per-tenant clusterer sessions (:mod:`repro.serve.session`). It is the wire-protocol
 promotion of the multiprocess pipeline: same frames, same barrier
 semantics, but the producers live in other processes on other machines.
 
@@ -53,6 +53,7 @@ from repro.serve.protocol import (
     OP_SNAPSHOT,
     read_message,
     valid_tenant_id,
+    wire_message_parts,
 )
 from repro.serve.session import TenantSession
 from repro.streams.codec import (
@@ -61,6 +62,7 @@ from repro.streams.codec import (
     decode_hello,
     pack_wire_message,
 )
+from repro.streams.events import EventColumns
 from repro.util.validation import check_positive
 
 __all__ = ["ClusterService"]
@@ -163,6 +165,7 @@ class ClusterService:
         self._bytes_counter = registry.counter("serve.bytes_received")
         self._errors_counter = registry.counter("serve.protocol_errors")
         self._rejects_counter = registry.counter("serve.admission_rejects")
+        self._columnar_counter = registry.counter("serve.codec_columnar_frames")
         self._tenants_gauge = registry.gauge("serve.tenants")
 
     # ------------------------------------------------------------------
@@ -263,9 +266,9 @@ class ClusterService:
         self._conn_tasks.add(task)
         task.add_done_callback(self._conn_tasks.discard)
 
-    def _admit(self, payload: bytes) -> TenantSession:
+    def _admit(self, payload) -> TenantSession:
         """Validate a HELLO and return (possibly creating) its session."""
-        tenant = decode_hello(payload)  # ValueError → protocol reject
+        tenant, kernel = decode_hello(payload)  # ValueError → protocol reject
         if not valid_tenant_id(tenant):
             raise ServiceError(
                 f"invalid tenant id {tenant!r}: use 1-128 chars from "
@@ -273,6 +276,12 @@ class ClusterService:
             )
         session = self._sessions.get(tenant)
         if session is not None:
+            if kernel is not None and kernel != session.config.kernel:
+                raise ServiceError(
+                    f"tenant {tenant!r} is live with kernel "
+                    f"{session.config.kernel!r}; refusing to switch to "
+                    f"{kernel!r} mid-session"
+                )
             return session
         if self._closing:
             raise ServiceError("service is shutting down; new tenants refused")
@@ -296,6 +305,7 @@ class ClusterService:
             checkpoint_every=self.checkpoint_every,
             resume=self.resume,
             ingest_delay=self._ingest_delay,
+            kernel=kernel,
         )
         self._sessions[tenant] = session
         self._tenants_gauge.set(len(self._sessions))
@@ -343,10 +353,15 @@ class ClusterService:
                         events = decoder.decode(payload)
                     except ValueError as error:
                         raise ProtocolError(str(error)) from None
+                    if type(events) is EventColumns:
+                        self._columnar_counter.inc()
                     await session.enqueue_events(events)
                 elif op in _QUERY_OPS:
                     reply = await session.query(op, payload)
-                    writer.write(pack_wire_message(op, reply))
+                    # Scatter-gather write: the length/opcode prefix and
+                    # the (possibly large) reply body go to the transport
+                    # as separate buffers instead of one concatenation.
+                    writer.writelines(wire_message_parts(op, reply))
                     await writer.drain()
                 elif op == OP_BYE:
                     writer.write(pack_wire_message(OP_BYE))

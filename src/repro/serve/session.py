@@ -37,10 +37,11 @@ events/s, p99 ingest latency, queue lag, drops — as a JSON-able dict.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import os
 import time
 import warnings
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.clusterer import StreamingGraphClusterer
 from repro.core.config import ClustererConfig
@@ -49,7 +50,7 @@ from repro.core.sharded import ShardedClusterer
 from repro.errors import CheckpointError, ServiceError
 from repro.obs import metrics as _obs
 from repro.persist import PeriodicCheckpointer, load_checkpoint
-from repro.streams.events import RawEvent
+from repro.streams.events import concat_event_batches
 
 __all__ = ["TenantSession"]
 
@@ -81,10 +82,18 @@ class TenantSession:
         checkpoint_every: int = 0,
         resume: bool = False,
         ingest_delay: float = 0.0,
+        kernel: Optional[str] = None,
     ) -> None:
         self.tenant_id = tenant_id
+        if kernel is not None and kernel != config.kernel:
+            # A client's HELLO may pin the batch kernel for its tenant;
+            # the derived config flows into the clusterer and therefore
+            # into the tenant's checkpoint, so the resume-mismatch guard
+            # below covers the kernel exactly like the CLI's does.
+            config = dataclasses.replace(config, kernel=kernel)
         self.config = config
         self.workers = int(workers)
+        self.batch_size = int(batch_size)
         self.checkpoint_path = checkpoint_path
         self._ingest_delay = ingest_delay  # testing aid: slow this tenant's drain
         self._closing = False
@@ -93,6 +102,7 @@ class TenantSession:
         self.pending_events = 0  # queued but not yet applied (queue lag)
         self.events_applied = 0
         self.batches_applied = 0
+        self.batches_coalesced = 0
         self.drops = 0
         self.apply_errors = 0
         self._started = time.monotonic()
@@ -154,6 +164,7 @@ class TenantSession:
         prefix = f"serve.tenant.{tenant_id}."
         self._events_counter = registry.counter(prefix + "events")
         self._drops_counter = registry.counter(prefix + "drops")
+        self._coalesced_counter = registry.counter(prefix + "coalesced_batches")
         self._lag_gauge = registry.gauge(prefix + "queue_lag_events")
         self._ingest_hist = registry.histogram(prefix + "ingest_seconds")
 
@@ -210,8 +221,9 @@ class TenantSession:
     # ------------------------------------------------------------------
     # Ingest + queries (called from connection handlers)
     # ------------------------------------------------------------------
-    async def enqueue_events(self, events: List[RawEvent]) -> None:
-        """Queue one decoded batch; suspends when the queue is full.
+    async def enqueue_events(self, events) -> None:
+        """Queue one decoded batch (raw-tuple list or ``EventColumns``);
+        suspends when the queue is full.
 
         The suspension is the backpressure mechanism: the caller is a
         connection's read loop, so a full queue stops socket reads and
@@ -236,65 +248,107 @@ class TenantSession:
     # ------------------------------------------------------------------
     # Drain task
     # ------------------------------------------------------------------
-    def _apply(self, events: List[RawEvent]) -> None:
+    def _apply(self, events) -> None:
         """Apply one batch (runs in a worker thread)."""
         if self._checkpointer is not None:
             self._checkpointer.apply_many(events)
         else:
             self.clusterer.apply_many(events)
 
+    def _coalesce(self, events, enqueued_at: float):
+        """Merge adjacent queued event batches up to ``batch_size``.
+
+        Small client frames would otherwise each pay a full
+        ``apply_many`` (and, under ``--kernel numpy``, run the kernel on
+        tiny arrays). Only *already queued* ``_EVENTS`` items merge —
+        the loop never waits — and a query or stop sentinel ends the
+        merge, preserving FIFO barrier semantics. The cap is strict: a
+        batch that would push past ``batch_size`` is carried to the next
+        drain iteration instead, so a client sending ``batch_size``-
+        sized frames gets exactly its own frame boundaries (that is what
+        keeps served numpy partitions deterministic and equal to inline
+        runs at the same boundaries).
+        """
+        queue = self._queue
+        limit = self.batch_size
+        total = len(events)
+        merged = None
+        carry = None
+        extra = 0
+        while total < limit:
+            try:
+                nxt = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            queue.task_done()
+            if nxt[0] != _EVENTS or total + len(nxt[1]) > limit:
+                carry = nxt
+                break
+            if merged is None:
+                merged = [events]
+            merged.append(nxt[1])
+            total += len(nxt[1])
+            extra += 1
+        if merged is not None:
+            events = concat_event_batches(merged)
+            self.batches_coalesced += extra
+            self._coalesced_counter.inc(extra)
+        return events, enqueued_at, carry
+
     async def _drain(self) -> None:
         queue = self._queue
+        carried = None
         while True:
-            item = await queue.get()
-            tag = item[0]
-            try:
-                if tag == _EVENTS:
-                    events = item[1]
-                    if self._ingest_delay:
-                        await asyncio.sleep(self._ingest_delay)
-                    try:
-                        await asyncio.to_thread(self._apply, events)
-                        self.events_applied += len(events)
-                        self.batches_applied += 1
-                        self._events_counter.inc(len(events))
-                        self._ingest_hist.observe(time.monotonic() - item[2])
-                    except Exception as error:  # noqa: BLE001 - session must survive
-                        # A failed batch is *lost*, not silently absorbed:
-                        # account it and warn, mirroring the pipeline's
-                        # degradation contract.
-                        self._note_drops(len(events))
-                        self.apply_errors += 1
-                        warnings.warn(
-                            f"tenant {self.tenant_id!r}: dropped batch of "
-                            f"{len(events)} event(s) after apply failure "
-                            f"({type(error).__name__}: {error})",
-                            RuntimeWarning,
-                            stacklevel=2,
-                        )
-                    finally:
-                        self.pending_events -= len(events)
-                        self._lag_gauge.set(self.pending_events)
-                elif tag == _QUERY:
-                    _, op, payload, future = item
-                    if not future.done():
-                        try:
-                            result = await asyncio.to_thread(
-                                self._answer, op, payload
-                            )
-                        except Exception as error:  # noqa: BLE001
-                            future.set_exception(
-                                ServiceError(
-                                    f"query failed: "
-                                    f"{type(error).__name__}: {error}"
-                                )
-                            )
-                        else:
-                            future.set_result(result)
-                else:  # _STOP
-                    return
-            finally:
+            if carried is not None:
+                item, carried = carried, None
+            else:
+                item = await queue.get()
                 queue.task_done()
+            tag = item[0]
+            if tag == _EVENTS:
+                events, enqueued_at, carried = self._coalesce(item[1], item[2])
+                if self._ingest_delay:
+                    await asyncio.sleep(self._ingest_delay)
+                try:
+                    await asyncio.to_thread(self._apply, events)
+                    self.events_applied += len(events)
+                    self.batches_applied += 1
+                    self._events_counter.inc(len(events))
+                    self._ingest_hist.observe(time.monotonic() - enqueued_at)
+                except Exception as error:  # noqa: BLE001 - session must survive
+                    # A failed batch is *lost*, not silently absorbed:
+                    # account it and warn, mirroring the pipeline's
+                    # degradation contract.
+                    self._note_drops(len(events))
+                    self.apply_errors += 1
+                    warnings.warn(
+                        f"tenant {self.tenant_id!r}: dropped batch of "
+                        f"{len(events)} event(s) after apply failure "
+                        f"({type(error).__name__}: {error})",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                finally:
+                    self.pending_events -= len(events)
+                    self._lag_gauge.set(self.pending_events)
+            elif tag == _QUERY:
+                _, op, payload, future = item
+                if not future.done():
+                    try:
+                        result = await asyncio.to_thread(
+                            self._answer, op, payload
+                        )
+                    except Exception as error:  # noqa: BLE001
+                        future.set_exception(
+                            ServiceError(
+                                f"query failed: "
+                                f"{type(error).__name__}: {error}"
+                            )
+                        )
+                    else:
+                        future.set_result(result)
+            else:  # _STOP
+                return
 
     def _answer(self, op: bytes, payload: bytes) -> bytes:
         """Compute one query reply (runs in a worker thread)."""
@@ -309,7 +363,8 @@ class TenantSession:
         if op == OP_SNAPSHOT:
             return render_snapshot(self.clusterer.snapshot()).encode("utf-8")
         if op == OP_MEMBERSHIP:
-            token = payload.decode("utf-8")
+            # The payload may be a memoryview over the receive buffer.
+            token = bytes(payload).decode("utf-8")
             try:
                 vertex: object = int(token)
             except ValueError:
@@ -351,6 +406,7 @@ class TenantSession:
             "position": self.position,
             "events_per_second": self.events_applied / elapsed,
             "queue_lag_events": self.pending_events,
+            "coalesced_batches": self.batches_coalesced,
             "drops": self.drops,
             "apply_errors": self.apply_errors,
             # None = the p99 fell in the histogram's overflow bucket

@@ -61,6 +61,34 @@ that live *outside* a clusterer process — the streaming service
 plain raw ``(kind, u, v)`` label tuples and only then routes them onto
 a tenant session.
 
+Columnar frames (version 3)
+---------------------------
+The batched kernels want arrays, not tuples. A version-3 frame carries
+one maximal ``ADD_EDGE`` run in column layout against the same
+cumulative vertex table the version-2 delta frames grow::
+
+    u8   format version (3)
+    u8   flags (bit 0: ALL_ADD — required; other bits reserved)
+    u32  NEW vertex-table entry count T (appended to the table)
+    T×   tagged entry (same tags as version 1)
+    u32  event count N
+    N×   u32 u_index   (one contiguous block)
+    N×   u32 v_index   (one contiguous block)
+
+Eight bytes per event instead of twelve (the kind word is implied by
+the flag), and — decisively — the index blocks are ``np.frombuffer``
+*views* over the receive buffer: decoding a frame is two views, one
+vectorized gather through the cumulative label table, zero per-event
+Python. Both stateful decoders dispatch on the version byte, so v2 and
+v3 frames interleave freely on one connection; anything that is not an
+all-int ``ADD_EDGE`` run (deletions, vertex events, self-loops kept
+for error reporting) still travels as v2 tuples. Decoded columns come
+back as :class:`~repro.streams.events.EventColumns` and keep the exact
+apply-time semantics of the equivalent tuples (property-tested in
+``tests/test_codec_columnar.py``). Without numpy the same frames decode
+through a pure-``struct`` fallback, so the wire format never depends on
+an optional import.
+
 Wire layer
 ----------
 The same frames also travel over sockets (:mod:`repro.serve`). The wire
@@ -81,12 +109,18 @@ byte functions; blocking and asyncio readers live in
 from __future__ import annotations
 
 import struct
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.streams.events import EventKind, RawEvent
+from repro.streams.events import EventColumns, EventKind, RawEvent
+
+try:  # numpy powers the vectorized columnar paths; pure-struct otherwise
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
 
 __all__ = [
     "CODEC_VERSION",
+    "COLUMNAR_CODEC_VERSION",
     "DELTA_CODEC_VERSION",
     "DEFAULT_MAX_FRAME_BYTES",
     "DEFAULT_MAX_WIRE_BYTES",
@@ -102,10 +136,17 @@ __all__ = [
     "encode_hello",
     "pack_wire_message",
     "split_wire_message",
+    "wire_message_parts",
 ]
 
 CODEC_VERSION = 1
 DELTA_CODEC_VERSION = 2
+COLUMNAR_CODEC_VERSION = 3
+
+#: Version-3 flag bit: every event in the frame is an ``ADD_EDGE``.
+#: The only flag this build defines — and it is mandatory, so a decoder
+#: can reject frames claiming semantics it does not implement.
+_COL_FLAG_ALL_ADD = 0x01
 
 #: First bytes of every service handshake — lets a server refuse a
 #: client speaking the wrong protocol before parsing anything else.
@@ -144,6 +185,11 @@ _U32 = struct.Struct("<I")
 _U16 = struct.Struct("<H")
 _S64_ENTRY = struct.Struct("<bq")
 _HEADER = struct.Struct("<BI")
+_COL_HEADER = struct.Struct("<BBI")
+
+#: HELLO kernel byte ↔ kernel name. Absent byte means "server default".
+_KERNEL_CODES = {"scalar": 0, "numpy": 1}
+_KERNEL_NAMES = {code: name for name, code in _KERNEL_CODES.items()}
 
 
 def _encode_entry(vertex) -> bytes:
@@ -242,13 +288,14 @@ def encode_batches(
         yield encode_batch(batch)
 
 
-def _decode_entries(data: bytes, offset: int, count: int, out: List[object]) -> int:
+def _decode_entries(data, offset: int, count: int, out: List[object]) -> int:
     """Parse ``count`` tagged vertex-table entries into ``out``.
 
-    Shared by the stateless version-1 reader and the delta decoder;
-    returns the offset past the last entry. Structural problems raise
-    ``ValueError`` (callers add no further context — the messages are
-    already frame-specific).
+    Shared by the stateless version-1 reader and the delta decoders;
+    ``data`` is any bytes-like object (the wire readers hand in
+    memoryviews over the receive buffer). Returns the offset past the
+    last entry. Structural problems raise ``ValueError`` (callers add no
+    further context — the messages are already frame-specific).
     """
     for _ in range(count):
         tag = data[offset]
@@ -259,7 +306,7 @@ def _decode_entries(data: bytes, offset: int, count: int, out: List[object]) -> 
         elif tag in (1, 2):
             (length,) = _U32.unpack_from(data, offset)
             offset += 4
-            raw = data[offset : offset + length]
+            raw = bytes(data[offset : offset + length])
             if len(raw) != length:
                 raise ValueError("corrupt event frame: truncated vertex entry")
             offset += length
@@ -460,8 +507,279 @@ class FrameEncoder:
         if batch:
             yield self.encode_batch(batch)
 
+    def encode_columns(
+        self,
+        us: Sequence,
+        vs: Sequence,
+        *,
+        max_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> Iterator[bytes]:
+        """Encode an all-``ADD_EDGE`` run as version-3 columnar frames.
 
-class FrameDecoder:
+        ``us``/``vs`` are parallel endpoint columns (lists or numpy
+        arrays); every event is an ``ADD_EDGE``, so no kind column
+        travels. All-int columns take a fully vectorized path
+        (``np.unique`` for first mentions, one bulk index pack); other
+        label types fall back to a per-event encoder with the same
+        rollback-on-error contract as :meth:`encode_batch`. Frames split
+        at ``max_bytes`` on exact size accounting, like
+        :meth:`encode_batches`.
+        """
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        n = len(us)
+        if len(vs) != n:
+            raise ValueError(
+                f"column length mismatch: {n} u labels, {len(vs)} v labels"
+            )
+        if not n:
+            return
+        if _np is not None:
+            au = av = None
+            if isinstance(us, _np.ndarray) and isinstance(vs, _np.ndarray):
+                if us.dtype.kind == "i" and vs.dtype.kind == "i":
+                    au = us.astype(_np.int64, copy=False)
+                    av = vs.astype(_np.int64, copy=False)
+            elif set(map(type, us)) == {int} and set(map(type, vs)) == {int}:
+                try:
+                    au = _np.array(us, dtype=_np.int64)
+                    av = _np.array(vs, dtype=_np.int64)
+                except (OverflowError, ValueError):
+                    au = av = None  # bigint labels: generic path
+            if au is not None:
+                yield from self._encode_columns_int(au, av, max_bytes)
+                return
+        yield from self._encode_columns_generic(list(us), list(vs), max_bytes)
+
+    def _encode_columns_int(self, au, av, max_bytes: int) -> Iterator[bytes]:
+        """Vectorized columnar encode for in-range int64 label arrays."""
+        index = self._index
+        labels = self._labels
+        worklist = [(au, av)]
+        while worklist:
+            au, av = worklist.pop()
+            n = int(au.size)
+            # One pass over the interleaved label stream gives both the
+            # distinct labels and the per-event positions into them.
+            flat = _np.empty(2 * n, dtype=_np.int64)
+            flat[0::2] = au
+            flat[1::2] = av
+            uniq, inverse = _np.unique(flat, return_inverse=True)
+            uniq_labels = uniq.tolist()
+            uniq_ids = _np.empty(len(uniq_labels), dtype=_np.int64)
+            new_positions: List[int] = []
+            for pos, label in enumerate(uniq_labels):
+                known = index.get(label)
+                if known is None:
+                    new_positions.append(pos)
+                else:
+                    uniq_ids[pos] = known
+            # int64 labels always pack as 9-byte s64 entries.
+            size = (
+                _COL_HEADER.size
+                + 9 * len(new_positions)
+                + _U32.size
+                + 8 * n
+            )
+            if size > max_bytes and n > 1:
+                half = n // 2
+                worklist.append((au[half:], av[half:]))
+                worklist.append((au[:half], av[:half]))
+                continue
+            entries: List[bytes] = []
+            for pos in new_positions:
+                label = uniq_labels[pos]
+                uniq_ids[pos] = index[label] = len(labels)
+                labels.append(label)
+                entries.append(_S64_ENTRY.pack(0, label))
+            ids_flat = uniq_ids[inverse.reshape(-1)]
+            parts = [
+                _COL_HEADER.pack(
+                    COLUMNAR_CODEC_VERSION, _COL_FLAG_ALL_ADD, len(entries)
+                )
+            ]
+            parts.extend(entries)
+            parts.append(_U32.pack(n))
+            parts.append(ids_flat[0::2].astype("<u4").tobytes())
+            parts.append(ids_flat[1::2].astype("<u4").tobytes())
+            yield b"".join(parts)
+
+    def _encode_columns_generic(
+        self, us: List, vs: List, max_bytes: int
+    ) -> Iterator[bytes]:
+        """Per-event columnar encode for str/bigint (or mixed) labels."""
+        index = self._index
+        labels = self._labels
+        n = len(us)
+        start = 0
+        while start < n:
+            staged: List = []
+            entries: List[bytes] = []
+            u_indexes: List[int] = []
+            v_indexes: List[int] = []
+            size = _COL_HEADER.size + _U32.size
+            i = start
+            try:
+                while i < n:
+                    u = us[i]
+                    v = vs[i]
+                    added = 8  # one u32 per index block
+                    u_index = index.get(u)
+                    u_entry = v_entry = None
+                    if u_index is None:
+                        u_entry = _encode_entry(u)
+                        added += len(u_entry)
+                    if v == u and type(v) is type(u):
+                        v_index = u_index
+                    else:
+                        v_index = index.get(v)
+                        if v_index is None:
+                            v_entry = _encode_entry(v)
+                            added += len(v_entry)
+                    if u_indexes and size + added > max_bytes:
+                        break  # frame full; event restarts the next one
+                    if u_index is None:
+                        u_index = index[u] = len(labels)
+                        labels.append(u)
+                        staged.append(u)
+                        entries.append(u_entry)
+                        if v_entry is None and v_index is None:
+                            v_index = u_index  # v == u, committed above
+                    if v_index is None:
+                        v_index = index[v] = len(labels)
+                        labels.append(v)
+                        staged.append(v)
+                        entries.append(v_entry)
+                    u_indexes.append(u_index)
+                    v_indexes.append(v_index)
+                    size += added
+                    i += 1
+            except Exception:
+                for label in reversed(staged):
+                    del index[label]
+                    labels.pop()
+                raise
+            count = len(u_indexes)
+            parts = [
+                _COL_HEADER.pack(
+                    COLUMNAR_CODEC_VERSION, _COL_FLAG_ALL_ADD, len(entries)
+                )
+            ]
+            parts.extend(entries)
+            parts.append(_U32.pack(count))
+            parts.append(struct.pack(f"<{count}I", *u_indexes))
+            parts.append(struct.pack(f"<{count}I", *v_indexes))
+            yield b"".join(parts)
+            start = i
+
+
+class _ColumnarDecodeMixin:
+    """Version-3 columnar decode shared by the stateful frame readers.
+
+    Grows the same cumulative ``_labels`` table the version-2 path
+    grows, so v2 and v3 frames interleave freely on one connection. The
+    hot path keeps a lazily grown ``int64`` mirror of the label table;
+    as long as every label is an in-range int (the overwhelmingly common
+    case) the endpoint columns decode as two ``np.frombuffer`` views
+    plus one vectorized gather. The first non-int label permanently
+    drops the connection to a list gather — still columnar, just not
+    array-backed.
+    """
+
+    __slots__ = ()
+
+    def _init_column_cache(self) -> None:
+        self._table_arr = None  # cached int64 mirror of _labels
+        self._table_mirrored = 0  # labels mirrored so far
+        self._table_all_int = True
+
+    def _register_fresh(self, fresh: List[object]) -> None:
+        self._labels.extend(fresh)
+
+    def _sync_table_array(self) -> bool:
+        """Mirror new labels into the int64 cache; False once any label
+        cannot live in an int64 array (vector gather no longer valid)."""
+        labels = self._labels
+        n = len(labels)
+        start = self._table_mirrored
+        if start == n:
+            return self._table_all_int
+        self._table_mirrored = n
+        if not self._table_all_int:
+            return False
+        arr = self._table_arr
+        if arr is None or arr.size < n:
+            capacity = 256 if arr is None else arr.size
+            while capacity < n:
+                capacity *= 2
+            grown = _np.empty(capacity, dtype=_np.int64)
+            if arr is not None and start:
+                grown[:start] = arr[:start]
+            self._table_arr = arr = grown
+        for i in range(start, n):
+            label = labels[i]
+            if type(label) is int and _INT64_MIN <= label <= _INT64_MAX:
+                arr[i] = label
+            else:
+                self._table_all_int = False
+                return False
+        return True
+
+    def _decode_columns(self, data) -> EventColumns:
+        """Decode one version-3 frame into ``EventColumns`` (table grows)."""
+        try:
+            _, flags, new_count = _COL_HEADER.unpack_from(data, 0)
+        except struct.error:
+            raise ValueError("corrupt event frame: truncated header") from None
+        if flags != _COL_FLAG_ALL_ADD:
+            raise ValueError(
+                f"corrupt event frame: unsupported columnar flags 0x{flags:02x}"
+            )
+        offset = _COL_HEADER.size
+        fresh: List[object] = []
+        try:
+            offset = _decode_entries(data, offset, new_count, fresh)
+            (count,) = _U32.unpack_from(data, offset)
+            offset += 4
+        except (struct.error, IndexError, UnicodeDecodeError) as error:
+            raise ValueError(f"corrupt event frame: {error}") from None
+        if offset + 8 * count != len(data):
+            raise ValueError(
+                f"corrupt event frame: {len(data) - offset - 8 * count} "
+                "trailing bytes"
+            )
+        self._register_fresh(fresh)
+        table_count = len(self._labels)
+        if not count:
+            return EventColumns(us=[], vs=[])
+        if _np is not None:
+            u_idx = _np.frombuffer(data, dtype="<u4", count=count, offset=offset)
+            v_idx = _np.frombuffer(
+                data, dtype="<u4", count=count, offset=offset + 4 * count
+            )
+            if int(u_idx.max()) >= table_count or int(v_idx.max()) >= table_count:
+                raise ValueError(
+                    "corrupt event frame: vertex index out of range"
+                )
+            if self._sync_table_array():
+                table = self._table_arr
+                return EventColumns(us=table[u_idx], vs=table[v_idx])
+            labels = self._labels
+            us = [labels[i] for i in u_idx.tolist()]
+            vs = [labels[i] for i in v_idx.tolist()]
+            return EventColumns(us=us, vs=vs)
+        u_idx = struct.unpack_from(f"<{count}I", data, offset)
+        v_idx = struct.unpack_from(f"<{count}I", data, offset + 4 * count)
+        if max(u_idx) >= table_count or max(v_idx) >= table_count:
+            raise ValueError("corrupt event frame: vertex index out of range")
+        labels = self._labels
+        return EventColumns(
+            us=[labels[i] for i in u_idx],
+            vs=[labels[i] for i in v_idx],
+        )
+
+
+class FrameDecoder(_ColumnarDecodeMixin):
     """Stateful version-2 frame reader (one per pipeline worker).
 
     Mirrors a :class:`FrameEncoder`'s cumulative table and *interns*
@@ -484,12 +802,20 @@ class FrameDecoder:
     identical to what the same shard stream would build inline.
     """
 
-    __slots__ = ("_interner", "_labels", "_ids")
+    __slots__ = (
+        "_interner",
+        "_labels",
+        "_ids",
+        "_table_arr",
+        "_table_mirrored",
+        "_table_all_int",
+    )
 
     def __init__(self, interner, labels: Optional[Iterable] = None) -> None:
         self._interner = interner
         self._labels: List = []
         self._ids: List[int] = []  # parallel to _labels; -1 = not interned yet
+        self._init_column_cache()
         if labels is not None:
             self._labels.extend(labels)
             self._ids.extend([-1] * len(self._labels))
@@ -499,8 +825,20 @@ class FrameDecoder:
         """Cumulative vertex-table entry count."""
         return len(self._labels)
 
-    def decode(self, data: bytes) -> List:
-        """Decode one delta frame into apply-ready segments."""
+    def _register_fresh(self, fresh: List[object]) -> None:
+        self._labels.extend(fresh)
+        self._ids.extend([-1] * len(fresh))
+
+    def decode(self, data) -> List:
+        """Decode one delta frame into apply-ready segments.
+
+        A version-3 columnar frame decodes to a single
+        :class:`EventColumns` segment (the worker clusterer's batch
+        kernel interns those itself); version-2 frames decode to the
+        interned-run/label-tuple segments described above.
+        """
+        if len(data) and data[0] == COLUMNAR_CODEC_VERSION:
+            return [self._decode_columns(data)]
         try:
             version, new_count = _HEADER.unpack_from(data, 0)
         except struct.error:
@@ -594,30 +932,34 @@ class FrameDecoder:
         return segments
 
 
-class DeltaBatchDecoder:
-    """Stateful version-2 frame reader that yields raw label tuples.
+class DeltaBatchDecoder(_ColumnarDecodeMixin):
+    """Stateful version-2/3 frame reader that yields raw label batches.
 
     The interner-free counterpart of :class:`FrameDecoder`: it mirrors a
     :class:`FrameEncoder`'s cumulative vertex table but performs no
-    interning and no segmentation — :meth:`decode` returns the frame's
-    events as plain ``(kind, u, v)`` label tuples, exactly what
-    ``StreamingGraphClusterer.apply_many`` ingests. The streaming
-    service decodes client frames with one of these per connection, so
-    the session layer never sees wire bytes.
+    interning and no segmentation — :meth:`decode` returns a version-2
+    frame's events as plain ``(kind, u, v)`` label tuples, exactly what
+    ``StreamingGraphClusterer.apply_many`` ingests, and a version-3
+    columnar frame as one :class:`EventColumns` batch (``apply_many``
+    takes either). The streaming service decodes client frames with one
+    of these per connection, so the session layer never sees wire bytes.
     """
 
-    __slots__ = ("_labels",)
+    __slots__ = ("_labels", "_table_arr", "_table_mirrored", "_table_all_int")
 
     def __init__(self, labels: Optional[Iterable] = None) -> None:
         self._labels: List = list(labels) if labels is not None else []
+        self._init_column_cache()
 
     @property
     def table_size(self) -> int:
         """Cumulative vertex-table entry count."""
         return len(self._labels)
 
-    def decode(self, data: bytes) -> List[RawEvent]:
-        """Decode one delta frame into raw event tuples (table grows)."""
+    def decode(self, data) -> Union[List[RawEvent], EventColumns]:
+        """Decode one delta frame (table grows)."""
+        if len(data) and data[0] == COLUMNAR_CODEC_VERSION:
+            return self._decode_columns(data)
         try:
             version, new_count = _HEADER.unpack_from(data, 0)
         except struct.error:
@@ -688,39 +1030,74 @@ def pack_wire_message(op: bytes, payload: bytes = b"") -> bytes:
     return _U32.pack(1 + len(payload)) + op + payload
 
 
-def split_wire_message(body: bytes) -> Tuple[bytes, bytes]:
+def wire_message_parts(op: bytes, payload: bytes = b"") -> Tuple[bytes, bytes]:
+    """:func:`pack_wire_message` in scatter-gather form.
+
+    Returns ``(prefix, payload)`` where the prefix is the length word
+    plus the opcode. Callers hand both parts to ``writelines`` /
+    ``sendmsg`` so a large payload is never copied into a fresh
+    contiguous message buffer just to prepend five bytes.
+    """
+    if len(op) != 1:
+        raise ValueError(f"wire opcode must be a single byte, got {op!r}")
+    return _U32.pack(1 + len(payload)) + op, payload
+
+
+def split_wire_message(body) -> Tuple[bytes, memoryview]:
     """Split a received message body into ``(opcode, payload)``.
 
-    ``body`` is everything after the length prefix. An empty body is a
-    framing error (the length prefix promised at least the opcode).
+    ``body`` is everything after the length prefix. The payload comes
+    back as a memoryview over ``body`` — frame decoders and
+    ``np.frombuffer`` consume it without another copy of the receive
+    buffer. An empty body is a framing error (the length prefix promised
+    at least the opcode).
     """
-    if not body:
+    if not len(body):
         raise ValueError("corrupt wire message: empty body")
-    return body[:1], body[1:]
+    view = memoryview(body)
+    return bytes(view[:1]), view[1:]
 
 
-def encode_hello(tenant_id: str) -> bytes:
-    """The HELLO handshake payload naming ``tenant_id``."""
+def encode_hello(tenant_id: str, kernel: Optional[str] = None) -> bytes:
+    """The HELLO handshake payload naming ``tenant_id``.
+
+    ``kernel`` (``"scalar"`` / ``"numpy"``) appends the optional kernel
+    byte declaring which batch kernel the tenant's session must run;
+    ``None`` omits the byte and leaves the choice to the server default.
+    Old servers reject the extra byte cleanly (length mismatch), old
+    clients never send it — the handshake stays wire-version 1.
+    """
     raw = tenant_id.encode("utf-8")
     if not raw or len(raw) > 0xFFFF:
         raise ValueError(
             f"tenant id must encode to 1..65535 utf-8 bytes, got {len(raw)}"
         )
-    return WIRE_MAGIC + bytes((WIRE_VERSION,)) + _U16.pack(len(raw)) + raw
+    head = WIRE_MAGIC + bytes((WIRE_VERSION,)) + _U16.pack(len(raw)) + raw
+    if kernel is None:
+        return head
+    code = _KERNEL_CODES.get(kernel)
+    if code is None:
+        raise ValueError(
+            f"unknown kernel {kernel!r} (expected one of "
+            f"{sorted(_KERNEL_CODES)})"
+        )
+    return head + bytes((code,))
 
 
-def decode_hello(payload: bytes) -> str:
-    """Validate a HELLO payload; returns the tenant id.
+def decode_hello(payload) -> Tuple[str, Optional[str]]:
+    """Validate a HELLO payload; returns ``(tenant_id, kernel)``.
 
-    Raises ``ValueError`` for a wrong magic, an unsupported wire
-    version, or a malformed/truncated tenant id — the server rejects
-    the connection before touching any session state.
+    ``kernel`` is ``None`` when the client left the choice to the
+    server. Raises ``ValueError`` for a wrong magic, an unsupported wire
+    version, a malformed/truncated tenant id, or an unknown kernel code
+    — the server rejects the connection before touching any session
+    state.
     """
     prefix = len(WIRE_MAGIC)
     if payload[:prefix] != WIRE_MAGIC:
         raise ValueError(
             f"bad handshake: expected magic {WIRE_MAGIC!r}, "
-            f"got {payload[:prefix]!r}"
+            f"got {bytes(payload[:prefix])!r}"
         )
     if len(payload) < prefix + 3:
         raise ValueError("bad handshake: truncated header")
@@ -731,13 +1108,21 @@ def decode_hello(payload: bytes) -> str:
             f"(this build speaks {WIRE_VERSION})"
         )
     (length,) = _U16.unpack_from(payload, prefix + 1)
-    raw = payload[prefix + 3 :]
-    if len(raw) != length or not raw:
+    raw = payload[prefix + 3 : prefix + 3 + length]
+    trailer = payload[prefix + 3 + length :]
+    if len(raw) != length or not length or len(trailer) > 1:
         raise ValueError(
             f"bad handshake: tenant id length {length} does not match "
-            f"{len(raw)} payload bytes"
+            f"{len(payload) - prefix - 3} payload bytes"
         )
+    kernel = None
+    if len(trailer):
+        kernel = _KERNEL_NAMES.get(trailer[0])
+        if kernel is None:
+            raise ValueError(
+                f"bad handshake: unknown kernel code {trailer[0]}"
+            )
     try:
-        return raw.decode("utf-8")
+        return bytes(raw).decode("utf-8"), kernel
     except UnicodeDecodeError:
         raise ValueError("bad handshake: tenant id is not valid utf-8") from None

@@ -30,6 +30,7 @@ __all__ = [
     "delete_vertex",
     "events_from_edges",
     "count_kinds",
+    "concat_event_batches",
 ]
 
 Vertex = Hashable
@@ -116,6 +117,11 @@ class EventColumns:
     the kernel then vectorizes in a single run. Like :data:`RawEvent`
     tuples, columns are neither validated nor canonicalized here;
     ``apply_many`` does both in bulk.
+
+    Columns are lists from the stream readers but may be numpy int64
+    arrays when they come off the columnar wire decode
+    (:mod:`repro.streams.codec`, version-3 frames); every consumer of
+    ``us``/``vs`` must handle both.
     """
 
     us: list
@@ -126,11 +132,69 @@ class EventColumns:
         return len(self.us)
 
     def to_events(self) -> list:
-        """The same batch as a list of raw ``(kind, u, v)`` tuples."""
+        """The same batch as a list of raw ``(kind, u, v)`` tuples.
+
+        Array-backed columns convert through ``tolist()`` so the tuples
+        carry plain Python ints — scalar-path consumers (and checkpoint
+        byte-identity) never see numpy scalar types.
+        """
+        us = self.us if type(self.us) is list else self.us.tolist()
+        vs = self.vs if type(self.vs) is list else self.vs.tolist()
         if self.kinds is None:
             add = EventKind.ADD_EDGE
-            return [(add, u, v) for u, v in zip(self.us, self.vs)]
-        return list(zip(self.kinds, self.us, self.vs))
+            return [(add, u, v) for u, v in zip(us, vs)]
+        return list(zip(self.kinds, us, vs))
+
+    def slice(self, start: int, stop: int) -> "EventColumns":
+        """The sub-batch ``[start:stop)`` (zero-copy for array columns)."""
+        if start == 0 and stop >= len(self.us):
+            return self
+        kinds = None if self.kinds is None else self.kinds[start:stop]
+        return EventColumns(
+            us=self.us[start:stop], vs=self.vs[start:stop], kinds=kinds
+        )
+
+
+def concat_event_batches(batches: list):
+    """Merge decoded event batches into one apply-ready batch.
+
+    Input items are raw-tuple lists and/or :class:`EventColumns` (the
+    two shapes a frame decode produces); the service drain loop uses
+    this to coalesce adjacent small client frames into one kernel-sized
+    ``apply_many``. All-``ADD_EDGE`` columns concatenate column-wise
+    (staying vectorizable); any mix falls back to one flat tuple list,
+    which preserves event order exactly.
+    """
+    if len(batches) == 1:
+        return batches[0]
+    if all(type(b) is EventColumns and b.kinds is None for b in batches):
+        us_parts = [b.us for b in batches]
+        vs_parts = [b.vs for b in batches]
+        if all(type(p) is list for p in us_parts) and all(
+            type(p) is list for p in vs_parts
+        ):
+            us: list = []
+            vs: list = []
+            for up, vp in zip(us_parts, vs_parts):
+                us.extend(up)
+                vs.extend(vp)
+            return EventColumns(us=us, vs=vs)
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - arrays imply numpy exists
+            np = None
+        if np is not None and all(
+            isinstance(p, np.ndarray) for p in us_parts + vs_parts
+        ):
+            return EventColumns(
+                us=np.concatenate(us_parts), vs=np.concatenate(vs_parts)
+            )
+    merged: list = []
+    for batch in batches:
+        merged.extend(
+            batch.to_events() if type(batch) is EventColumns else batch
+        )
+    return merged
 
 
 def add_edge(u: Vertex, v: Vertex) -> EdgeEvent:

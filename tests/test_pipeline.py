@@ -123,6 +123,46 @@ class TestEquivalence:
         assert isinstance(restored.clusterer, ShardedClusterer)
         assert restored.clusterer.snapshot() == sequential(3).snapshot()
 
+    def test_columnar_input_matches_sequential_sharded(self, sequential):
+        """EventColumns routes as v3 frames; same merged partition and
+        checkpoint state as a sequential sharded run of the tuples."""
+        from repro.streams.events import EventColumns
+
+        graph = planted_partition(90, 3, p_in=0.3, p_out=0.02, seed=21)
+        edges = list(graph.edges)
+        columns = EventColumns(
+            us=[u for u, _ in edges], vs=[v for _, v in edges]
+        )
+        reference = ShardedClusterer(CONFIG, num_shards=3)
+        reference.apply_many(columns.to_events())
+        with make_pipeline(3, batch_events=64) as pipe:
+            pipe.apply_many(columns)
+            assert pipe.snapshot() == reference.snapshot()
+            assert pipe.shard_events == reference.shard_events
+            assert pipe.frames_sent > 0
+
+    def test_columnar_numpy_kernel_deterministic(self):
+        """With kernel='numpy' the columnar wire path is a deterministic
+        function of (seed, stream, frame boundaries)."""
+        from dataclasses import replace
+
+        from repro.streams.events import EventColumns
+
+        graph = planted_partition(90, 3, p_in=0.3, p_out=0.02, seed=21)
+        edges = list(graph.edges)
+        columns = EventColumns(
+            us=[u for u, _ in edges], vs=[v for _, v in edges]
+        )
+        config = replace(CONFIG, kernel="numpy")
+        snapshots = []
+        for _ in range(2):
+            with PipelineClusterer(
+                config, 3, batch_events=64, supervisor=FAST
+            ) as pipe:
+                pipe.apply_many(columns)
+                snapshots.append(pipe.snapshot())
+        assert snapshots[0] == snapshots[1]
+
     def test_query_surface_matches_sharded(self, events, sequential):
         reference = sequential(2)
         with make_pipeline(2, batch_events=16) as pipe:

@@ -99,8 +99,18 @@ class _RunningService:
 
 class TestWirePrimitives:
     def test_hello_round_trip(self):
-        assert decode_hello(encode_hello("tenant-1")) == "tenant-1"
-        assert decode_hello(encode_hello("日本")) == "日本"
+        assert decode_hello(encode_hello("tenant-1")) == ("tenant-1", None)
+        assert decode_hello(encode_hello("日本")) == ("日本", None)
+
+    def test_hello_kernel_byte_round_trip(self):
+        assert decode_hello(encode_hello("t", "scalar")) == ("t", "scalar")
+        assert decode_hello(encode_hello("t", "numpy")) == ("t", "numpy")
+        with pytest.raises(ValueError, match="kernel"):
+            encode_hello("t", "fortran")
+        with pytest.raises(ValueError, match="kernel"):
+            decode_hello(encode_hello("t") + b"\x07")
+        with pytest.raises(ValueError, match="does not match"):
+            decode_hello(encode_hello("t") + b"\x00\x01")
 
     def test_hello_rejects_bad_magic_version_and_truncation(self):
         good = encode_hello("t")
@@ -166,7 +176,7 @@ class TestProtocolRobustness:
             sock.sendall((1 << 20).to_bytes(4, "little"))
             op, payload = recv_message(sock)
             assert op == OP_ERROR
-            assert b"oversized" in payload
+            assert b"oversized" in bytes(payload)
             sock.close()
             # The daemon is fine: a fresh client still gets service.
             with ServiceClient(running.endpoint, tenant="big") as client:
@@ -195,7 +205,7 @@ class TestProtocolRobustness:
             send_message(sock, OP_EVENTS, b"\xff\xffgarbage")
             op, payload = recv_message(sock)
             assert op == OP_ERROR
-            assert b"corrupt event frame" in payload
+            assert b"corrupt event frame" in bytes(payload)
             sock.close()
 
     def test_handshake_required_first(self):
@@ -205,7 +215,7 @@ class TestProtocolRobustness:
             send_message(sock, OP_EVENTS, b"")
             op, payload = recv_message(sock)
             assert op == OP_ERROR
-            assert b"HELLO" in payload
+            assert b"HELLO" in bytes(payload)
             sock.close()
 
     def test_bad_tenant_id_refused(self):
